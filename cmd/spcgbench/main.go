@@ -1,0 +1,147 @@
+// Command spcgbench regenerates the paper's tables and figures:
+//
+//	spcgbench table1 [-s 10] [-dim 24]
+//	spcgbench table2 [-scale 32] [-s 10] [-only name1,name2]
+//	spcgbench table3 [-scale 32] [-nodes 4]
+//	spcgbench fig1   [-dim 64] [-maxnodes 128] [-svalues 5,10,15]
+//	spcgbench ablation
+//
+// Scale divides the paper's matrix sizes (1 = full size); see DESIGN.md for
+// the experiment-to-module index.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"spcg/internal/dist"
+	"spcg/internal/experiments"
+	"spcg/internal/suite"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	scale := fs.Int("scale", 32, "divide paper matrix sizes by this factor (1 = full size)")
+	s := fs.Int("s", 10, "s-step block size")
+	nodes := fs.Int("nodes", 4, "virtual node count (table3)")
+	dim := fs.Int("dim", 0, "grid dimension (table1: default 24; fig1: default 64, paper 256)")
+	maxNodes := fs.Int("maxnodes", 128, "largest node count (fig1)")
+	sValuesFlag := fs.String("svalues", "5,10,15", "comma-separated s values (fig1)")
+	only := fs.String("only", "", "comma-separated matrix names (table2; default all 40)")
+	ranksPerNode := fs.Int("ranks", 128, "ranks per virtual node")
+	maxIters := fs.Int("maxiters", 0, "iteration cap (default 12000, the paper's cutoff; scale it with -scale for faster sweeps)")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	machine := dist.DefaultMachine()
+	machine.RanksPerNode = *ranksPerNode
+	cfg := experiments.Config{Scale: *scale, S: *s, Machine: machine, Progress: os.Stderr, MaxIterations: *maxIters}
+
+	start := time.Now()
+	var err error
+	switch cmd {
+	case "table1":
+		d := *dim
+		if d == 0 {
+			d = 24
+		}
+		var rows []experiments.Table1Row
+		rows, err = experiments.RunTable1(cfg, d)
+		if err == nil {
+			experiments.RenderTable1(os.Stdout, rows, cfg.S)
+			if verr := experiments.ValidateTable1(rows, cfg.S); verr != nil {
+				fmt.Printf("validation: %v\n", verr)
+			} else {
+				fmt.Println("validation: measured counts match the closed forms")
+			}
+		}
+	case "table2":
+		problems := suite.All()
+		if *only != "" {
+			problems = problems[:0]
+			for _, name := range strings.Split(*only, ",") {
+				p, ok := suite.ByName(strings.TrimSpace(name))
+				if !ok {
+					fmt.Fprintf(os.Stderr, "unknown matrix %q\n", name)
+					os.Exit(2)
+				}
+				problems = append(problems, p)
+			}
+		}
+		var rows []experiments.Table2Row
+		rows, err = experiments.RunTable2(cfg, problems)
+		if err == nil {
+			experiments.RenderTable2(os.Stdout, rows, cfg.S)
+		}
+	case "table3":
+		var rows []experiments.Table3Row
+		rows, err = experiments.RunTable3(cfg, *nodes)
+		if err == nil {
+			experiments.RenderTable3(os.Stdout, rows)
+		}
+	case "fig1":
+		d := *dim
+		if d == 0 {
+			d = 64
+		}
+		var sValues []int
+		for _, tok := range strings.Split(*sValuesFlag, ",") {
+			v, perr := strconv.Atoi(strings.TrimSpace(tok))
+			if perr != nil || v < 1 {
+				fmt.Fprintf(os.Stderr, "bad -svalues entry %q\n", tok)
+				os.Exit(2)
+			}
+			sValues = append(sValues, v)
+		}
+		var res *experiments.Fig1Result
+		res, err = experiments.RunFig1(cfg, d, *maxNodes, sValues)
+		if err == nil {
+			experiments.RenderFig1(os.Stdout, res)
+		}
+	case "pipeline":
+		d := *dim
+		if d == 0 {
+			d = 64
+		}
+		var res *experiments.PipelineResult
+		res, err = experiments.RunPipeline(cfg, d, *maxNodes)
+		if err == nil {
+			experiments.RenderPipeline(os.Stdout, res)
+		}
+	case "predict":
+		var rows []experiments.PredictRow
+		rows, err = experiments.RunPredict(cfg, *dim, nil)
+		if err == nil {
+			experiments.RenderPredict(os.Stdout, rows, cfg.S)
+		}
+	case "ablation":
+		var res *experiments.AblationResult
+		res, err = experiments.RunAblation(cfg)
+		if err == nil {
+			experiments.RenderAblation(os.Stdout, res)
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spcgbench %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", cmd, time.Since(start).Round(time.Millisecond))
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: spcgbench <table1|table2|table3|fig1|ablation|predict|pipeline> [flags]
+Run "spcgbench <cmd> -h" for per-command flags.`)
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"spcg/internal/sparse"
+)
+
+func TestBuildMatrixGenerators(t *testing.T) {
+	for _, gen := range []string{"poisson1d", "poisson2d", "poisson3d", "varcoeff2d", "varcoeff3d", "circuit"} {
+		a, err := buildMatrix(gen, 6, 2, "")
+		if err != nil {
+			t.Fatalf("%s: %v", gen, err)
+		}
+		if a.Dim() < 6 {
+			t.Fatalf("%s: dim %d", gen, a.Dim())
+		}
+		if !a.IsSymmetric(1e-10) {
+			t.Fatalf("%s: not symmetric", gen)
+		}
+	}
+	if _, err := buildMatrix("nope", 6, 2, ""); err == nil {
+		t.Fatal("unknown generator accepted")
+	}
+}
+
+func TestBuildMatrixFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.mtx")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sparse.WriteMatrixMarket(f, sparse.Poisson1D(8)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	a, err := buildMatrix("ignored", 0, 0, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Dim() != 8 {
+		t.Fatalf("dim = %d", a.Dim())
+	}
+	if _, err := buildMatrix("", 0, 0, filepath.Join(dir, "missing.mtx")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestBuildPrec(t *testing.T) {
+	a := sparse.Poisson2D(8, 8)
+	for _, name := range []string{"none", "", "jacobi", "chebyshev", "blockjacobi", "ssor", "ic0"} {
+		p, err := buildPrec(a, name, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		dst := make([]float64, a.Dim())
+		src := make([]float64, a.Dim())
+		src[0] = 1
+		p.Apply(dst, src)
+	}
+	if _, err := buildPrec(a, "nope", 3); err == nil {
+		t.Fatal("unknown preconditioner accepted")
+	}
+}

@@ -1,0 +1,68 @@
+// Basis stability: reproduce the paper's central numerical observation
+// (§2.3, §5.2) — at s = 10 the monomial basis destroys s-step convergence
+// while Newton and Chebyshev bases track standard PCG.
+//
+//	go run ./examples/basisstability
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"spcg"
+)
+
+func main() {
+	// A variable-coefficient diffusion problem: hard enough that basis
+	// conditioning matters, the class the paper's Table 2 draws from.
+	a := spcg.VarCoeff2D(64, 64, 3, 42)
+	n := a.Dim()
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = 1 / math.Sqrt(float64(n))
+	}
+	b := make([]float64, n)
+	a.MulVec(b, xTrue)
+	m, err := spcg.NewJacobi(a)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	_, ref, err := spcg.PCG(a, m, b, spcg.Options{Tol: 1e-8, Criterion: spcg.TrueResidual2Norm})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PCG reference: %d iterations\n\n", ref.Iterations)
+
+	fmt.Println("sPCG iterations by basis type and s (- = stagnated/diverged):")
+	fmt.Printf("%-10s", "basis")
+	sValues := []int{2, 5, 10, 15}
+	for _, s := range sValues {
+		fmt.Printf("  s=%-5d", s)
+	}
+	fmt.Println()
+	for _, bt := range []spcg.BasisType{spcg.Monomial, spcg.Newton, spcg.Chebyshev} {
+		fmt.Printf("%-10s", bt)
+		for _, s := range sValues {
+			_, stats, err := spcg.SPCG(a, m, b, spcg.Options{
+				S: s, Basis: bt, Tol: 1e-8,
+				Criterion:     spcg.TrueResidual2Norm,
+				MaxIterations: 6000,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if stats.Converged {
+				fmt.Printf("  %-7d", stats.Iterations)
+			} else {
+				fmt.Printf("  %-7s", "-")
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nThe monomial basis fails for s ≳ 5 because its columns align with the")
+	fmt.Println("dominant eigenvector (power iteration); Newton/Chebyshev bases stay")
+	fmt.Println("well-conditioned, which is the paper's motivation for generalizing")
+	fmt.Println("sPCGmon to arbitrary basis types.")
+}

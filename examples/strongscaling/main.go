@@ -1,0 +1,102 @@
+// Strong scaling: a runnable miniature of the paper's Figure 1. One solve
+// per solver provides the event stream; the virtual-cluster cost model then
+// prices it at every node count, showing where standard PCG stops scaling
+// and the s-step methods keep going.
+//
+//	go run ./examples/strongscaling
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"spcg"
+)
+
+func main() {
+	a := spcg.Poisson3D(32, 32, 32)
+	n := a.Dim()
+	rng := rand.New(rand.NewSource(1))
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64() / math.Sqrt(float64(n))
+	}
+	b := make([]float64, n)
+	a.MulVec(b, xTrue)
+	m, err := spcg.NewJacobi(a)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	machine := spcg.DefaultMachine() // 128 ranks/node, like the paper's ASC nodes
+	nodeCounts := []int{1, 2, 4, 8, 16, 32, 64}
+
+	type variant struct {
+		name string
+		run  func(opts spcg.Options) (*spcg.Stats, error)
+	}
+	variants := []variant{
+		{"PCG", func(o spcg.Options) (*spcg.Stats, error) { _, s, err := spcg.PCG(a, m, b, o); return s, err }},
+		{"sPCG(s=10)", func(o spcg.Options) (*spcg.Stats, error) {
+			o.S, o.Basis = 10, spcg.Chebyshev
+			_, s, err := spcg.SPCG(a, m, b, o)
+			return s, err
+		}},
+		{"CA-PCG(s=10)", func(o spcg.Options) (*spcg.Stats, error) {
+			o.S, o.Basis = 10, spcg.Chebyshev
+			_, s, err := spcg.CAPCG(a, m, b, o)
+			return s, err
+		}},
+		{"CA-PCG3(s=10)", func(o spcg.Options) (*spcg.Stats, error) {
+			o.S, o.Basis = 10, spcg.Chebyshev
+			_, s, err := spcg.CAPCG3(a, m, b, o)
+			return s, err
+		}},
+	}
+
+	// Reference: PCG on one node.
+	times := map[string][]float64{}
+	for _, v := range variants {
+		times[v.name] = make([]float64, len(nodeCounts))
+		for i, nd := range nodeCounts {
+			cl, err := spcg.NewCluster(machine, nd, a)
+			if err != nil {
+				log.Fatal(err)
+			}
+			stats, err := v.run(spcg.Options{Tol: 1e-9, Criterion: spcg.RecursiveResidualMNorm, Tracker: spcg.NewTracker(cl)})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !stats.Converged {
+				times[v.name][i] = math.NaN()
+				continue
+			}
+			times[v.name][i] = stats.SimTime
+		}
+	}
+
+	ref := times["PCG"][0]
+	fmt.Printf("7-pt 3D Poisson 32³, Jacobi preconditioner, Chebyshev basis\n")
+	fmt.Printf("reference: PCG on 1 node (128 ranks) = %.4fs modeled\n\n", ref)
+	fmt.Printf("%-8s", "nodes")
+	for _, v := range variants {
+		fmt.Printf("%14s", v.name)
+	}
+	fmt.Println("   (speedup over 1-node PCG)")
+	for i, nd := range nodeCounts {
+		fmt.Printf("%-8d", nd)
+		for _, v := range variants {
+			t := times[v.name][i]
+			if math.IsNaN(t) {
+				fmt.Printf("%14s", "-")
+			} else {
+				fmt.Printf("%13.2f×", ref/t)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nPCG flattens once the two allreduces per iteration dominate; the")
+	fmt.Println("s-step methods amortize one allreduce over s iterations and keep scaling.")
+}

@@ -1,0 +1,48 @@
+// Suite run: solve a few members of the synthetic Table 2 suite with every
+// solver and print the iteration comparison, paper numbers alongside.
+//
+//	go run ./examples/suiterun [-scale 256] [-names cfd2,G2_circuit]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"spcg/internal/dist"
+	"spcg/internal/experiments"
+	"spcg/internal/suite"
+)
+
+func main() {
+	scale := flag.Int("scale", 256, "divide paper matrix sizes by this factor")
+	names := flag.String("names", "thermomech_TC,Dubcova3,cfd2,G2_circuit", "comma-separated suite matrices")
+	flag.Parse()
+
+	var problems []suite.Problem
+	for _, name := range strings.Split(*names, ",") {
+		p, ok := suite.ByName(strings.TrimSpace(name))
+		if !ok {
+			log.Fatalf("unknown matrix %q; known: run with -names '' to list", name)
+		}
+		problems = append(problems, p)
+	}
+	if len(problems) == 0 {
+		for _, p := range suite.All() {
+			fmt.Println(p.Name)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Scale: *scale, S: 10, Machine: dist.DefaultMachine()}
+	rows, err := experiments.RunTable2(cfg, problems)
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiments.RenderTable2(os.Stdout, rows, cfg.S)
+	fmt.Println("\nEntries are 'monomial/Chebyshev' iterations; '-' marks stagnation or")
+	fmt.Println("divergence, the paper's Table 2 convention. Paper columns list the")
+	fmt.Println("original SuiteSparse results for the matrices these stand in for.")
+}

@@ -1,0 +1,3 @@
+module spcg
+
+go 1.22

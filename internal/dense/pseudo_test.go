@@ -1,0 +1,139 @@
+package dense
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSymEigenVecReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range []int{1, 2, 5, 9} {
+		a := randSPD(rng, n)
+		vals, v, err := SymEigenVec(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A·v_j == λ_j·v_j for every eigenpair.
+		for j := 0; j < n; j++ {
+			col := make([]float64, n)
+			for i := 0; i < n; i++ {
+				col[i] = v.At(i, j)
+			}
+			av := a.MulVec(col)
+			for i := 0; i < n; i++ {
+				if math.Abs(av[i]-vals[j]*col[i]) > 1e-8*(1+math.Abs(vals[j])) {
+					t.Fatalf("n=%d eigenpair %d violated at row %d", n, j, i)
+				}
+			}
+		}
+		// Eigenvectors orthonormal: VᵀV == I.
+		vtv := MatMul(v.T(), v)
+		if d := MaxAbsDiff(vtv, Eye(n)); d > 1e-10 {
+			t.Fatalf("n=%d VᵀV differs from I by %v", n, d)
+		}
+		// Ascending order.
+		for j := 1; j < n; j++ {
+			if vals[j] < vals[j-1] {
+				t.Fatal("eigenvalues not ascending")
+			}
+		}
+	}
+}
+
+func TestSymEigenVecRejectsNonSquare(t *testing.T) {
+	if _, _, err := SymEigenVec(NewMat(2, 3)); err == nil {
+		t.Fatal("non-square accepted")
+	}
+}
+
+func TestPseudoSolveSymExactOnSPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	a := randSPD(rng, 7)
+	xTrue := make([]float64, 7)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	rhs := a.MulVec(xTrue)
+	x, err := PseudoSolveSym(a, rhs, 1e-13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-xTrue[i]) > 1e-8 {
+			t.Fatalf("entry %d: %v vs %v", i, x[i], xTrue[i])
+		}
+	}
+}
+
+func TestPseudoSolveSymTruncatesNullspace(t *testing.T) {
+	// Singular matrix diag(1, 0): the rhs component on the null direction
+	// must be dropped, not amplified.
+	a := NewMat(2, 2)
+	a.Set(0, 0, 1)
+	x, err := PseudoSolveSym(a, []float64{3, 5}, 1e-13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-3) > 1e-12 || x[1] != 0 {
+		t.Fatalf("x = %v, want [3 0]", x)
+	}
+}
+
+func TestPseudoSolveSymMatMatchesVector(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	a := randSPD(rng, 5)
+	b := randMat(rng, 5, 3)
+	x, err := PseudoSolveSymMat(a, b, 0) // 0 → default rcond
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 3; c++ {
+		col := make([]float64, 5)
+		for i := 0; i < 5; i++ {
+			col[i] = b.At(i, c)
+		}
+		want, err := PseudoSolveSym(a, col, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			if math.Abs(x.At(i, c)-want[i]) > 1e-12 {
+				t.Fatalf("col %d row %d: %v vs %v", c, i, x.At(i, c), want[i])
+			}
+		}
+	}
+}
+
+func TestPseudoSolveShapeErrors(t *testing.T) {
+	a := NewMat(2, 2)
+	if _, err := PseudoSolveSym(a, []float64{1}, 0); err == nil {
+		t.Fatal("bad rhs length accepted")
+	}
+	if _, err := PseudoSolveSymMat(a, NewMat(3, 2), 0); err == nil {
+		t.Fatal("bad rhs rows accepted")
+	}
+}
+
+func TestSolveSPDUsesCholeskyForSPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	a := randSPD(rng, 6)
+	xTrue := make([]float64, 6)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	rhs := a.MulVec(xTrue)
+	x, err := SolveSPD(a, rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-xTrue[i]) > 1e-8 {
+			t.Fatal("SolveSPD wrong")
+		}
+	}
+	// Singular input fails through both paths.
+	if _, err := SolveSPD(FromRowMajor(2, 2, []float64{1, 1, 1, 1}), []float64{1, 1}); err == nil {
+		t.Fatal("singular accepted")
+	}
+}

@@ -1,0 +1,223 @@
+package dist
+
+import "fmt"
+
+// Counts aggregates the structural events of a solver run — the quantities
+// the paper's Table 1 reasons about.
+type Counts struct {
+	SpMVs          int
+	PrecApplies    int
+	Allreduces     int
+	AllreduceVals  int // total float64 values reduced
+	HaloExchanges  int
+	LocalFlops     float64 // global FLOPs of local vector/matrix work
+	LocalReduceOps float64 // global FLOPs spent producing reduction operands
+}
+
+// eventKind tags recorded events for replay.
+type eventKind uint8
+
+const (
+	evSpMV eventKind = iota
+	evPrec
+	evVector
+	evReduceLocal
+	evAllreduce
+	evHalo
+	evAllreduceOverlap
+)
+
+// event is one recorded cost-model event.
+type event struct {
+	kind   eventKind
+	flops  float64 // evPrec: global flops; evVector/evReduceLocal: global flops
+	bytes  float64 // evVector/evReduceLocal: global bytes
+	values int     // evAllreduce: payload; evPrec: halo count
+}
+
+// Tracker charges solver events against a Cluster's cost model and
+// accumulates the simulated wall-clock time. A nil *Tracker is valid and
+// charges nothing, so solvers can run untracked at zero cost.
+//
+// With recording enabled, the tracker also keeps the event stream so the
+// same numerical run can be re-costed on clusters of different sizes
+// (ReplayOn) — the solver's event sequence does not depend on the cluster,
+// only its modeled cost does.
+type Tracker struct {
+	C      *Cluster
+	Time   float64
+	Counts Counts
+
+	record bool
+	events []event
+}
+
+// NewTracker returns a Tracker bound to c.
+func NewTracker(c *Cluster) *Tracker { return &Tracker{C: c} }
+
+// NewRecordingTracker returns a Tracker that additionally records events
+// for later ReplayOn.
+func NewRecordingTracker(c *Cluster) *Tracker { return &Tracker{C: c, record: true} }
+
+// ReplayOn recomputes the total modeled time of the recorded event stream
+// on another cluster. Panics if the tracker was not recording.
+func (t *Tracker) ReplayOn(c *Cluster) float64 {
+	if !t.record {
+		panic("dist: ReplayOn requires a recording tracker")
+	}
+	var total float64
+	for _, e := range t.events {
+		switch e.kind {
+		case evSpMV:
+			total += c.Roofline(2*float64(c.MaxNNZ), 12*float64(c.MaxNNZ)+16*float64(c.MaxRows)) + c.HaloTime()
+		case evPrec:
+			share := c.MaxNNZShare()
+			total += c.Roofline(e.flops*share, 1.5*e.flops*share) + float64(e.values)*c.HaloTime()
+		case evVector, evReduceLocal:
+			share := c.MaxRowShare()
+			total += c.Roofline(e.flops*share, e.bytes*share)
+		case evAllreduce:
+			total += c.AllreduceTime(e.values)
+		case evAllreduceOverlap:
+			total += exposedAllreduce(c, e.values, e.flops)
+		case evHalo:
+			total += c.HaloTime()
+		}
+	}
+	return total
+}
+
+// SpMV charges one distributed sparse matrix-vector product: a halo
+// exchange followed by the local multiply on the most loaded rank
+// (12 bytes per stored entry — value + column index — plus streaming the
+// input and output rows).
+func (t *Tracker) SpMV() {
+	if t == nil {
+		return
+	}
+	t.Counts.SpMVs++
+	t.Counts.HaloExchanges++
+	c := t.C
+	flops := 2 * float64(c.MaxNNZ)
+	bytes := 12*float64(c.MaxNNZ) + 16*float64(c.MaxRows)
+	t.Time += c.Roofline(flops, bytes) + c.HaloTime()
+	if t.record {
+		t.events = append(t.events, event{kind: evSpMV})
+	}
+}
+
+// PrecApply charges one preconditioner application given its global flop
+// count and internal halo exchanges (from precond.Interface). Bytes are
+// estimated at 1.5 bytes per flop (streaming kernels).
+func (t *Tracker) PrecApply(globalFlops float64, halos int) {
+	if t == nil {
+		return
+	}
+	t.Counts.PrecApplies++
+	t.Counts.HaloExchanges += halos
+	share := t.C.MaxNNZShare()
+	flops := globalFlops * share
+	t.Time += t.C.Roofline(flops, 1.5*flops) + float64(halos)*t.C.HaloTime()
+	t.Counts.LocalFlops += globalFlops
+	if t.record {
+		t.events = append(t.events, event{kind: evPrec, flops: globalFlops, values: halos})
+	}
+}
+
+// VectorOp charges a local kernel over length-n data given *global* flop and
+// byte totals, scaled to the most loaded rank's row share.
+func (t *Tracker) VectorOp(globalFlops, globalBytes float64) {
+	if t == nil {
+		return
+	}
+	share := t.C.MaxRowShare()
+	t.Time += t.C.Roofline(globalFlops*share, globalBytes*share)
+	t.Counts.LocalFlops += globalFlops
+	if t.record {
+		t.events = append(t.events, event{kind: evVector, flops: globalFlops, bytes: globalBytes})
+	}
+}
+
+// ReduceLocal charges the local computation of reduction operands (the
+// "local reductions" column of Table 1): dot-product style kernels of
+// globalFlops total flops.
+func (t *Tracker) ReduceLocal(globalFlops, globalBytes float64) {
+	if t == nil {
+		return
+	}
+	share := t.C.MaxRowShare()
+	t.Time += t.C.Roofline(globalFlops*share, globalBytes*share)
+	t.Counts.LocalReduceOps += globalFlops
+	if t.record {
+		t.events = append(t.events, event{kind: evReduceLocal, flops: globalFlops, bytes: globalBytes})
+	}
+}
+
+// Allreduce charges one global reduction of the given number of float64
+// values.
+func (t *Tracker) Allreduce(values int) {
+	if t == nil {
+		return
+	}
+	t.Counts.Allreduces++
+	t.Counts.AllreduceVals += values
+	t.Time += t.C.AllreduceTime(values)
+	if t.record {
+		t.events = append(t.events, event{kind: evAllreduce, values: values})
+	}
+}
+
+// Halo charges one standalone halo exchange (outside SpMV).
+func (t *Tracker) Halo() {
+	if t == nil {
+		return
+	}
+	t.Counts.HaloExchanges++
+	t.Time += t.C.HaloTime()
+	if t.record {
+		t.events = append(t.events, event{kind: evHalo})
+	}
+}
+
+// String summarizes the tracked run.
+func (t *Tracker) String() string {
+	if t == nil {
+		return "dist.Tracker(nil)"
+	}
+	return fmt.Sprintf("time=%.6fs spmv=%d prec=%d allreduce=%d(%d vals) halo=%d flops=%.3g",
+		t.Time, t.Counts.SpMVs, t.Counts.PrecApplies, t.Counts.Allreduces,
+		t.Counts.AllreduceVals, t.Counts.HaloExchanges, t.Counts.LocalFlops)
+}
+
+// AllreduceOverlappedBySpMVPrec charges a non-blocking allreduce whose
+// completion is overlapped with one SpMV plus one preconditioner application
+// (precFlops global FLOPs) — the communication-hiding pattern of pipelined
+// PCG: only the exposed remainder of the collective costs time. The SpMV and
+// preconditioner application themselves must still be charged by their own
+// calls; this method prices only the collective. The covered time is
+// recomputed from the cluster on replay, so the overlap stays correct across
+// node counts.
+func (t *Tracker) AllreduceOverlappedBySpMVPrec(values int, precFlops float64) {
+	if t == nil {
+		return
+	}
+	t.Counts.Allreduces++
+	t.Counts.AllreduceVals += values
+	t.Time += exposedAllreduce(t.C, values, precFlops)
+	if t.record {
+		t.events = append(t.events, event{kind: evAllreduceOverlap, values: values, flops: precFlops})
+	}
+}
+
+// exposedAllreduce returns the non-hidden part of an allreduce overlapped
+// with one SpMV + one preconditioner application on cluster c.
+func exposedAllreduce(c *Cluster, values int, precFlops float64) float64 {
+	covered := c.Roofline(2*float64(c.MaxNNZ), 12*float64(c.MaxNNZ)+16*float64(c.MaxRows))
+	share := c.MaxNNZShare()
+	covered += c.Roofline(precFlops*share, 1.5*precFlops*share)
+	exposed := c.AllreduceTime(values) - covered
+	if exposed < 0 {
+		return 0
+	}
+	return exposed
+}

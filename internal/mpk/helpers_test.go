@@ -1,0 +1,11 @@
+package mpk
+
+import "spcg/internal/dense"
+
+func matFromSlice(n int, data []float64) *dense.Mat {
+	return dense.FromRowMajor(n, n, data)
+}
+
+func condSPD(m *dense.Mat) float64 {
+	return dense.Cond2SPD(m)
+}

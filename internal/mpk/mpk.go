@@ -1,0 +1,87 @@
+// Package mpk implements the Matrix Powers Kernel (paper §2.3, Eq. 6–7): it
+// generates the s-step basis matrices
+//
+//	V    = [P₀(AM⁻¹)w, P₁(AM⁻¹)w, …, P_s(AM⁻¹)w]
+//	M⁻¹V = [P₀(M⁻¹A)v, P₁(M⁻¹A)v, …]  with v = M⁻¹w
+//
+// column by column from the three-term recurrence of the chosen basis type,
+// at the cost of one SpMV and one preconditioner application per new column.
+// Identity used throughout: P_l(M⁻¹A)·M⁻¹w = M⁻¹·P_l(AM⁻¹)·w, so the second
+// block is exactly M⁻¹ applied to the first.
+//
+// The kernel is written against small operator interfaces so the solvers can
+// pass instrumented wrappers (which charge the distributed cost model) while
+// tests pass raw matrices.
+package mpk
+
+import (
+	"fmt"
+
+	"spcg/internal/basis"
+	"spcg/internal/vec"
+)
+
+// Operator applies a square matrix: dst = A·src.
+type Operator interface {
+	Dim() int
+	MulVec(dst, src []float64)
+}
+
+// Preconditioner applies M⁻¹: dst = M⁻¹·src.
+type Preconditioner interface {
+	Apply(dst, src []float64)
+}
+
+// Compute fills S (n×(s+1)) with the basis of K_{s+1}(AM⁻¹, w) and U
+// (n×sU, sU ∈ {s, s+1}) with M⁻¹ times the first sU columns of S.
+//
+// w is copied into S column 0. u0, when non-nil, must equal M⁻¹w and is
+// copied into U column 0, saving one preconditioner application (the s-step
+// solvers always have u⁽ᵏ⁾ = M⁻¹r⁽ᵏ⁾ in hand); when nil it is computed.
+//
+// Cost: s SpMVs and sU−1 preconditioner applications (plus one if u0 is nil).
+func Compute(a Operator, m Preconditioner, params *basis.Params, w, u0 []float64, s *vec.Block, u *vec.Block) error {
+	n := a.Dim()
+	sCols := s.S()
+	deg := sCols - 1
+	uCols := u.S()
+	if deg < 1 {
+		return fmt.Errorf("mpk: S needs at least 2 columns, got %d", sCols)
+	}
+	if uCols != deg && uCols != sCols {
+		return fmt.Errorf("mpk: U must have %d or %d columns, got %d", deg, sCols, uCols)
+	}
+	if params.Degree() < deg {
+		return fmt.Errorf("mpk: basis degree %d < required %d", params.Degree(), deg)
+	}
+	if err := params.Validate(); err != nil {
+		return err
+	}
+	if s.N != n || u.N != n || len(w) != n {
+		return fmt.Errorf("mpk: dimension mismatch (n=%d, S rows %d, U rows %d, len(w)=%d)", n, s.N, u.N, len(w))
+	}
+
+	vec.Copy(s.Col(0), w)
+	if u0 != nil {
+		vec.Copy(u.Col(0), u0)
+	} else {
+		m.Apply(u.Col(0), w)
+	}
+
+	z := make([]float64, n)
+	for l := 0; l < deg; l++ {
+		// z = A·M⁻¹·S_l = A·U_l.
+		a.MulVec(z, u.Col(l))
+		var prev []float64
+		var mu float64
+		if l > 0 {
+			prev = s.Col(l - 1)
+			mu = params.Mu[l-1]
+		}
+		vec.Threeterm(s.Col(l+1), z, params.Theta[l], s.Col(l), mu, prev, params.Gamma[l])
+		if l+1 < uCols {
+			m.Apply(u.Col(l+1), s.Col(l+1))
+		}
+	}
+	return nil
+}

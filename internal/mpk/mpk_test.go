@@ -1,0 +1,253 @@
+package mpk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spcg/internal/basis"
+	"spcg/internal/precond"
+	"spcg/internal/sparse"
+	"spcg/internal/vec"
+)
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+// countingOp wraps a CSR and counts MulVec calls.
+type countingOp struct {
+	a     *sparse.CSR
+	calls int
+}
+
+func (c *countingOp) Dim() int { return c.a.Dim() }
+func (c *countingOp) MulVec(dst, src []float64) {
+	c.calls++
+	c.a.MulVec(dst, src)
+}
+
+type countingPrec struct {
+	m     precond.Interface
+	calls int
+}
+
+func (c *countingPrec) Apply(dst, src []float64) {
+	c.calls++
+	c.m.Apply(dst, src)
+}
+
+func TestMonomialIdentityPreconditioner(t *testing.T) {
+	// With M = I and the monomial basis, S_l = Aˡ·w exactly.
+	rng := rand.New(rand.NewSource(1))
+	a := sparse.Poisson2D(5, 5)
+	n := a.Dim()
+	w := randVec(rng, n)
+	s := 4
+	S := vec.NewBlock(n, s+1)
+	U := vec.NewBlock(n, s)
+	op := &countingOp{a: a}
+	pm := &countingPrec{m: precond.NewIdentity(n)}
+	if err := Compute(op, pm, basis.MonomialParams(s), w, nil, S, U); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]float64(nil), w...)
+	tmp := make([]float64, n)
+	for l := 0; l <= s; l++ {
+		for i := range want {
+			if math.Abs(S.Col(l)[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+				t.Fatalf("S col %d row %d: %v vs %v", l, i, S.Col(l)[i], want[i])
+			}
+		}
+		if l < s {
+			// U_l == S_l for identity M.
+			for i := range want {
+				if U.Col(l)[i] != S.Col(l)[i] {
+					t.Fatalf("U col %d differs from S col %d", l, l)
+				}
+			}
+		}
+		a.MulVec(tmp, want)
+		want, tmp = tmp, want
+	}
+	if op.calls != s {
+		t.Fatalf("SpMV calls = %d, want %d", op.calls, s)
+	}
+	if pm.calls != s { // u0 nil → 1 extra + (s−1)
+		t.Fatalf("prec calls = %d, want %d", pm.calls, s)
+	}
+}
+
+func TestU0Provided(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := sparse.Poisson1D(30)
+	n := a.Dim()
+	m, err := precond.NewJacobi(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := randVec(rng, n)
+	u0 := make([]float64, n)
+	m.Apply(u0, w)
+	s := 3
+	S := vec.NewBlock(n, s+1)
+	U := vec.NewBlock(n, s)
+	pm := &countingPrec{m: m}
+	if err := Compute(&countingOp{a: a}, pm, basis.MonomialParams(s), w, u0, S, U); err != nil {
+		t.Fatal(err)
+	}
+	if pm.calls != s-1 {
+		t.Fatalf("prec calls = %d, want %d", pm.calls, s-1)
+	}
+}
+
+func TestUIsMInvS(t *testing.T) {
+	// For every basis type: U_l == M⁻¹·S_l.
+	rng := rand.New(rand.NewSource(3))
+	a := sparse.Poisson2D(6, 6)
+	n := a.Dim()
+	m, err := precond.NewJacobi(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := 0.1, 8.0
+	ritz := []float64{0.5, 3, 7}
+	s := 5
+	for _, typ := range []basis.Type{basis.Monomial, basis.Newton, basis.Chebyshev} {
+		params, err := basis.New(typ, s, lo, hi, ritz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := randVec(rng, n)
+		S := vec.NewBlock(n, s+1)
+		U := vec.NewBlock(n, s+1) // full-width U exercises the extra column
+		if err := Compute(&countingOp{a: a}, m, params, w, nil, S, U); err != nil {
+			t.Fatal(err)
+		}
+		tmp := make([]float64, n)
+		for l := 0; l <= s; l++ {
+			m.Apply(tmp, S.Col(l))
+			for i := 0; i < n; i++ {
+				if math.Abs(U.Col(l)[i]-tmp[i]) > 1e-10*(1+math.Abs(tmp[i])) {
+					t.Fatalf("%v: U col %d != M⁻¹S col %d at row %d", typ, l, l, i)
+				}
+			}
+		}
+	}
+}
+
+func TestChangeOfBasisIdentityAU(t *testing.T) {
+	// The paper's §3 identity: AU⁽ᵏ⁾ = S⁽ᵏ⁾·B with B = B_{s+1}, for every
+	// basis type. This is the contract the sPCG solver relies on.
+	rng := rand.New(rand.NewSource(4))
+	a := sparse.Poisson2D(7, 5)
+	n := a.Dim()
+	m, err := precond.NewChebyshev(a, 2, 0.2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := 4
+	for _, typ := range []basis.Type{basis.Monomial, basis.Newton, basis.Chebyshev} {
+		params, err := basis.New(typ, s, 0.2, 8, []float64{1, 4, 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := randVec(rng, n)
+		S := vec.NewBlock(n, s+1)
+		U := vec.NewBlock(n, s)
+		if err := Compute(&countingOp{a: a}, m, params, w, nil, S, U); err != nil {
+			t.Fatal(err)
+		}
+		b := params.ChangeOfBasis(s + 1) // (s+1)×s
+		au := make([]float64, n)
+		sb := make([]float64, n)
+		for j := 0; j < s; j++ {
+			a.MulVec(au, U.Col(j))
+			vec.Zero(sb)
+			for i := 0; i <= s; i++ {
+				vec.Axpy(b.At(i, j), S.Col(i), sb)
+			}
+			for r := 0; r < n; r++ {
+				if math.Abs(au[r]-sb[r]) > 1e-8*(1+math.Abs(au[r])) {
+					t.Fatalf("%v: AU != SB at col %d row %d: %v vs %v", typ, j, r, au[r], sb[r])
+				}
+			}
+		}
+	}
+}
+
+func TestComputeValidation(t *testing.T) {
+	a := sparse.Poisson1D(10)
+	n := a.Dim()
+	m := precond.NewIdentity(n)
+	w := make([]float64, n)
+	params := basis.MonomialParams(3)
+	cases := []struct {
+		name string
+		s, u *vec.Block
+		w    []float64
+		p    *basis.Params
+	}{
+		{"S too narrow", vec.NewBlock(n, 1), vec.NewBlock(n, 1), w, params},
+		{"U wrong width", vec.NewBlock(n, 4), vec.NewBlock(n, 2), w, params},
+		{"degree too low", vec.NewBlock(n, 5), vec.NewBlock(n, 4), w, params},
+		{"bad w length", vec.NewBlock(n, 4), vec.NewBlock(n, 3), make([]float64, 3), params},
+		{"wrong rows", vec.NewBlock(n+1, 4), vec.NewBlock(n+1, 3), w, params},
+	}
+	for _, tc := range cases {
+		if err := Compute(&countingOp{a: a}, m, tc.p, tc.w, nil, tc.s, tc.u); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+	bad := basis.MonomialParams(3)
+	bad.Gamma[0] = 0
+	if err := Compute(&countingOp{a: a}, m, bad, w, nil, vec.NewBlock(n, 4), vec.NewBlock(n, 3)); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestChebyshevBasisBetterConditioned(t *testing.T) {
+	// The motivating numerical fact of the paper: for s = 10, the monomial
+	// basis Gram matrix is catastrophically ill-conditioned while the
+	// Chebyshev basis (on a decent spectral interval) stays usable.
+	a := sparse.Poisson1D(100)
+	n := a.Dim()
+	m := precond.NewIdentity(n)
+	lo := 2 - 2*math.Cos(math.Pi/101)
+	hi := 2 - 2*math.Cos(100*math.Pi/101)
+	s := 10
+	rng := rand.New(rand.NewSource(5))
+	w := randVec(rng, n)
+	cond := map[basis.Type]float64{}
+	for _, typ := range []basis.Type{basis.Monomial, basis.Chebyshev} {
+		params, err := basis.New(typ, s, lo, hi, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		S := vec.NewBlock(n, s+1)
+		U := vec.NewBlock(n, s)
+		if err := Compute(&countingOp{a: a}, m, params, w, nil, S, U); err != nil {
+			t.Fatal(err)
+		}
+		// Condition of the basis via the Gram matrix SᵀS: κ₂(S)² = κ₂(SᵀS).
+		g := vec.Gram(S, S)
+		gm := matFromSlice(s+1, g)
+		cond[typ] = condSPD(gm)
+	}
+	if cond[basis.Monomial] < 1e12 {
+		t.Fatalf("monomial Gram condition %v unexpectedly good", cond[basis.Monomial])
+	}
+	if cond[basis.Chebyshev] > 1e10 {
+		t.Fatalf("Chebyshev Gram condition %v unexpectedly bad", cond[basis.Chebyshev])
+	}
+	if cond[basis.Chebyshev]*1e4 > cond[basis.Monomial] {
+		t.Fatalf("Chebyshev (%v) not clearly better than monomial (%v)", cond[basis.Chebyshev], cond[basis.Monomial])
+	}
+}
+
+// matFromSlice and condSPD adapt dense helpers without importing dense in
+// the main test body twice.

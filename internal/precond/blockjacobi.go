@@ -1,0 +1,89 @@
+package precond
+
+import (
+	"fmt"
+
+	"spcg/internal/dense"
+	"spcg/internal/sparse"
+)
+
+// BlockJacobi is the block-diagonal preconditioner: the matrix is split into
+// contiguous row blocks, each diagonal block is extracted densely and
+// Cholesky-factored, and Apply solves block-local systems. With one block
+// per virtual rank it is communication-free, like Jacobi.
+type BlockJacobi struct {
+	n       int
+	bounds  []int
+	factors []*dense.Chol
+	scratch []float64
+	flops   float64
+}
+
+// NewBlockJacobi builds a block-Jacobi preconditioner with nblocks
+// contiguous, nnz-balanced row blocks. Block sizes must stay small (the
+// factorization is dense per block); an error is returned when a block
+// exceeds maxBlockDim (4096).
+func NewBlockJacobi(a *sparse.CSR, nblocks int) (*BlockJacobi, error) {
+	const maxBlockDim = 4096
+	if nblocks < 1 {
+		return nil, fmt.Errorf("precond: BlockJacobi needs ≥ 1 block, got %d", nblocks)
+	}
+	bounds := sparse.NNZBalancedRanges(a, nblocks)
+	p := &BlockJacobi{n: a.Dim(), bounds: bounds, scratch: make([]float64, 0, maxBlockDim)}
+	for b := 0; b < nblocks; b++ {
+		lo, hi := bounds[b], bounds[b+1]
+		dim := hi - lo
+		if dim == 0 {
+			p.factors = append(p.factors, nil)
+			continue
+		}
+		if dim > maxBlockDim {
+			return nil, fmt.Errorf("precond: BlockJacobi block %d has %d rows > %d; use more blocks", b, dim, maxBlockDim)
+		}
+		blk := dense.NewMat(dim, dim)
+		for i := lo; i < hi; i++ {
+			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+				j := a.ColIdx[k]
+				if j >= lo && j < hi {
+					blk.Set(i-lo, j-lo, a.Val[k])
+				}
+			}
+		}
+		f, err := dense.Cholesky(blk)
+		if err != nil {
+			return nil, fmt.Errorf("precond: BlockJacobi block %d (%d rows): %w", b, dim, err)
+		}
+		p.factors = append(p.factors, f)
+		p.flops += 2 * float64(dim) * float64(dim) // two triangular solves
+	}
+	return p, nil
+}
+
+// Apply solves each diagonal block system.
+func (p *BlockJacobi) Apply(dst, src []float64) {
+	if len(dst) != p.n || len(src) != p.n {
+		panic("precond: BlockJacobi Apply dim mismatch")
+	}
+	for b, f := range p.factors {
+		if f == nil {
+			continue
+		}
+		lo, hi := p.bounds[b], p.bounds[b+1]
+		copy(dst[lo:hi], src[lo:hi])
+		if err := f.Solve(dst[lo:hi]); err != nil {
+			panic("precond: BlockJacobi solve: " + err.Error()) // cannot happen: sizes fixed at build
+		}
+	}
+}
+
+// Dim returns n.
+func (p *BlockJacobi) Dim() int { return p.n }
+
+// Name returns "blockjacobi(k)".
+func (p *BlockJacobi) Name() string { return fmt.Sprintf("blockjacobi(%d)", len(p.factors)) }
+
+// Flops returns the dense triangular-solve cost summed over blocks.
+func (p *BlockJacobi) Flops() float64 { return p.flops }
+
+// HaloExchanges returns 0: blocks are rank-local.
+func (p *BlockJacobi) HaloExchanges() int { return 0 }

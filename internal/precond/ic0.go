@@ -1,0 +1,119 @@
+package precond
+
+import (
+	"fmt"
+	"math"
+
+	"spcg/internal/sparse"
+)
+
+// IC0 is the zero-fill incomplete Cholesky preconditioner M = L·Lᵀ where L
+// has the sparsity pattern of the lower triangle of A. Like SSOR, the
+// triangular solves are processor-local in the distributed interpretation.
+type IC0 struct {
+	n      int
+	rowPtr []int // CSR of L (lower triangle incl. diagonal)
+	colIdx []int
+	val    []float64
+	diag   []int // position of the diagonal entry in each row of L
+	y      []float64
+}
+
+// NewIC0 computes the IC(0) factorization. Returns an error if a pivot
+// becomes non-positive (possible for general SPD matrices; guaranteed safe
+// for M-matrices such as the stencil generators).
+func NewIC0(a *sparse.CSR) (*IC0, error) {
+	n := a.Dim()
+	// Extract the lower triangle (columns sorted, diagonal last per row).
+	p := &IC0{n: n, rowPtr: make([]int, n+1), diag: make([]int, n), y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		hasDiag := false
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := a.ColIdx[k]
+			if j > i {
+				break
+			}
+			p.colIdx = append(p.colIdx, j)
+			p.val = append(p.val, a.Val[k])
+			if j == i {
+				hasDiag = true
+				p.diag[i] = len(p.val) - 1
+			}
+		}
+		if !hasDiag {
+			return nil, fmt.Errorf("%w: row %d has no stored diagonal", ErrZeroDiagonal, i)
+		}
+		p.rowPtr[i+1] = len(p.val)
+	}
+	// Up-looking IC(0): for each row i, for each k < i in pattern,
+	// l_ik = (a_ik − Σ_{j<k} l_ij·l_kj) / l_kk ; l_ii = sqrt(a_ii − Σ l_ij²).
+	colPos := make(map[[2]int]int, len(p.val)) // (i,j) → index in val
+	for i := 0; i < n; i++ {
+		for k := p.rowPtr[i]; k < p.rowPtr[i+1]; k++ {
+			colPos[[2]int{i, p.colIdx[k]}] = k
+		}
+	}
+	for i := 0; i < n; i++ {
+		for kk := p.rowPtr[i]; kk < p.rowPtr[i+1]; kk++ {
+			k := p.colIdx[kk]
+			if k == i {
+				break
+			}
+			s := p.val[kk]
+			// Sparse dot of rows i and k over columns < k.
+			for ii := p.rowPtr[i]; ii < kk; ii++ {
+				j := p.colIdx[ii]
+				if pos, ok := colPos[[2]int{k, j}]; ok {
+					s -= p.val[ii] * p.val[pos]
+				}
+			}
+			p.val[kk] = s / p.val[p.diag[k]]
+		}
+		d := p.val[p.diag[i]]
+		for ii := p.rowPtr[i]; ii < p.diag[i]; ii++ {
+			d -= p.val[ii] * p.val[ii]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("precond: IC(0) breakdown at row %d (pivot %v)", i, d)
+		}
+		p.val[p.diag[i]] = math.Sqrt(d)
+	}
+	return p, nil
+}
+
+// Apply solves L·Lᵀ·dst = src.
+func (p *IC0) Apply(dst, src []float64) {
+	if len(dst) != p.n || len(src) != p.n {
+		panic("precond: IC0 Apply dim mismatch")
+	}
+	y := p.y
+	// Forward L·y = src.
+	for i := 0; i < p.n; i++ {
+		s := src[i]
+		for k := p.rowPtr[i]; k < p.diag[i]; k++ {
+			s -= p.val[k] * y[p.colIdx[k]]
+		}
+		y[i] = s / p.val[p.diag[i]]
+	}
+	// Backward Lᵀ·dst = y: accumulate column-wise.
+	copy(dst, y)
+	for i := p.n - 1; i >= 0; i-- {
+		dst[i] /= p.val[p.diag[i]]
+		xi := dst[i]
+		for k := p.rowPtr[i]; k < p.diag[i]; k++ {
+			dst[p.colIdx[k]] -= p.val[k] * xi
+		}
+	}
+}
+
+// Dim returns n.
+func (p *IC0) Dim() int { return p.n }
+
+// Name returns "ic0".
+func (p *IC0) Name() string { return "ic0" }
+
+// Flops counts the two triangular sweeps.
+func (p *IC0) Flops() float64 { return 4*float64(len(p.val)) + 2*float64(p.n) }
+
+// HaloExchanges returns 0 (local sweeps).
+func (p *IC0) HaloExchanges() int { return 0 }

@@ -1,0 +1,90 @@
+package solver
+
+import (
+	"math"
+
+	"spcg/internal/precond"
+	"spcg/internal/sparse"
+)
+
+// SPCGAdaptive runs SPCG with an adaptive block size in the spirit of
+// Carson's adaptive s-step CG [paper ref. 2]: it starts at Options.S and,
+// whenever the run breaks down or stagnates (no convergence progress), it
+// resumes from the current iterate with s halved. At s = 1 the method is
+// numerically plain PCG, so the cascade always terminates with PCG-grade
+// robustness while keeping the largest stable block size for the easy part
+// of the convergence history.
+//
+// The returned Stats aggregate all phases; Stats.Iterations counts
+// PCG-equivalent steps across the cascade and Stats.Restarts counts the s
+// reductions.
+func SPCGAdaptive(a *sparse.CSR, m precond.Interface, b []float64, opts Options) ([]float64, *Stats, error) {
+	opts = opts.withDefaults()
+	total := &Stats{}
+	s := opts.S
+	x := opts.X0
+	remaining := opts.MaxIterations
+	var lastRel = math.Inf(1)
+
+	for {
+		phase := opts
+		phase.S = s
+		phase.X0 = x
+		phase.MaxIterations = remaining
+		var (
+			stats *Stats
+			err   error
+		)
+		if s <= 1 {
+			x, stats, err = PCG(a, m, b, phase)
+		} else {
+			x, stats, err = SPCG(a, m, b, phase)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		accumulate(total, stats)
+		if stats.Converged || s <= 1 {
+			total.Converged = stats.Converged
+			total.FinalRelative = stats.FinalRelative
+			total.TrueRelResidual = stats.TrueRelResidual
+			return x, total, nil
+		}
+		remaining -= stats.Iterations
+		if remaining <= 0 {
+			total.FinalRelative = stats.FinalRelative
+			total.TrueRelResidual = stats.TrueRelResidual
+			return x, total, nil
+		}
+		// No convergence at this s: breakdown, stagnation or cap. Only keep
+		// shrinking while we are making progress or s is still large.
+		if stats.FinalRelative >= lastRel && s == 1 {
+			total.FinalRelative = stats.FinalRelative
+			total.TrueRelResidual = stats.TrueRelResidual
+			return x, total, nil
+		}
+		lastRel = stats.FinalRelative
+		s /= 2
+		if s < 1 {
+			s = 1
+		}
+		total.Restarts++
+	}
+}
+
+// accumulate merges per-phase stats into the aggregate.
+func accumulate(total, phase *Stats) {
+	total.Iterations += phase.Iterations
+	total.OuterIterations += phase.OuterIterations
+	total.MVProducts += phase.MVProducts
+	total.PrecApplies += phase.PrecApplies
+	total.Allreduces += phase.Allreduces
+	total.AllreduceValues += phase.AllreduceValues
+	total.SimTime += phase.SimTime
+	total.ResidualReplacements += phase.ResidualReplacements
+	total.Restarts += phase.Restarts
+	total.History = append(total.History, phase.History...)
+	if phase.Breakdown != nil {
+		total.Breakdown = phase.Breakdown
+	}
+}

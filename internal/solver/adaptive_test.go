@@ -1,0 +1,110 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"spcg/internal/basis"
+	"spcg/internal/precond"
+	"spcg/internal/sparse"
+)
+
+func TestAdaptiveMatchesSPCGWhenStable(t *testing.T) {
+	// On a problem where sPCG at the requested s is healthy, the adaptive
+	// wrapper must behave identically (no s reductions).
+	a := sparse.Poisson2D(20, 20)
+	b, xTrue := testProblem(a)
+	m, _ := precond.NewJacobi(a)
+	x, st, err := SPCGAdaptive(a, m, b, Options{S: 5, Basis: basis.Chebyshev, Tol: 1e-8, Criterion: RecursiveResidualMNorm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatalf("did not converge: %+v", st.Breakdown)
+	}
+	if st.Restarts != 0 {
+		t.Fatalf("unexpected s reductions: %d", st.Restarts)
+	}
+	if e := solutionError(x, xTrue); e > 1e-6 {
+		t.Fatalf("solution error %v", e)
+	}
+}
+
+func TestAdaptiveRecoversFromMonomialBreakdown(t *testing.T) {
+	// The monomial basis at s = 10 collapses; the adaptive cascade must
+	// shrink s until it converges (s ≤ 5 is stable for this problem).
+	a := sparse.Anisotropic2D(40, 40, 1e-3)
+	b, xTrue := testProblem(a)
+	m, _ := precond.NewJacobi(a)
+	x, st, err := SPCGAdaptive(a, m, b, Options{S: 10, Basis: basis.Monomial, Tol: 1e-8, MaxIterations: 12000, Criterion: TrueResidual2Norm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatalf("adaptive cascade did not converge: rel %v, restarts %d", st.FinalRelative, st.Restarts)
+	}
+	if st.Restarts == 0 {
+		t.Fatal("expected at least one s reduction for the monomial basis at s=10")
+	}
+	if e := solutionError(x, xTrue); e > 1e-5 {
+		t.Fatalf("solution error %v", e)
+	}
+}
+
+func TestAdaptiveDegradesToPlainPCG(t *testing.T) {
+	// With s = 1 requested directly, the cascade is just PCG.
+	a := sparse.Poisson1D(60)
+	b, xTrue := testProblem(a)
+	x, st, err := SPCGAdaptive(a, nil, b, Options{S: 1, Tol: 1e-10, Criterion: RecursiveResidualMNorm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatal("PCG phase did not converge")
+	}
+	if e := solutionError(x, xTrue); e > 1e-7 {
+		t.Fatalf("solution error %v", e)
+	}
+}
+
+func TestAdaptiveRespectsIterationBudget(t *testing.T) {
+	a := sparse.Anisotropic2D(30, 30, 1e-4)
+	b, _ := testProblem(a)
+	_, st, err := SPCGAdaptive(a, nil, b, Options{S: 8, Basis: basis.Monomial, Tol: 1e-13, MaxIterations: 40, Criterion: RecursiveResidualMNorm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Converged {
+		t.Fatal("should not converge within 40 iterations at 1e-13")
+	}
+	// The cascade must not run unbounded: total iterations stay within a
+	// small multiple of the budget (each phase obeys the remaining cap).
+	if st.Iterations > 40+8 {
+		t.Fatalf("iterations %d exceed the budget", st.Iterations)
+	}
+}
+
+func TestAdaptiveErrorPropagation(t *testing.T) {
+	a := sparse.Poisson1D(10)
+	if _, _, err := SPCGAdaptive(a, nil, make([]float64, 3), Options{S: 2}); err == nil {
+		t.Fatal("bad rhs accepted")
+	}
+}
+
+func TestAdaptiveStatsAggregate(t *testing.T) {
+	a := sparse.Poisson2D(15, 15)
+	b, _ := testProblem(a)
+	_, st, err := SPCGAdaptive(a, nil, b, Options{S: 4, Basis: basis.Chebyshev, Tol: 1e-8, Criterion: RecursiveResidualMNorm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MVProducts <= 0 || st.Allreduces <= 0 || len(st.History) == 0 {
+		t.Fatalf("stats not aggregated: %+v", st)
+	}
+	if st.TrueRelResidual > 1e-7 {
+		t.Fatalf("true residual %v", st.TrueRelResidual)
+	}
+	if math.IsNaN(st.FinalRelative) {
+		t.Fatal("FinalRelative not set")
+	}
+}

@@ -1,0 +1,98 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spcg/internal/basis"
+	"spcg/internal/mpk"
+	"spcg/internal/precond"
+	"spcg/internal/sparse"
+	"spcg/internal/vec"
+)
+
+type rawOp struct{ a *sparse.CSR }
+
+func (o rawOp) Dim() int                  { return o.a.Dim() }
+func (o rawOp) MulVec(dst, src []float64) { o.a.MulVec(dst, src) }
+
+// TestCAPCGChangeOfBasisMatchesOperators pins the paper's §2.3 contract at
+// the matrix level: with Y = [Q|R̂] and Z = M⁻¹Y built by the MPK exactly as
+// CAPCG builds them, A·Z·c must equal Y·B·c for every coefficient vector c
+// supported by the inner iterations (zero in the last column of each block).
+func TestCAPCGChangeOfBasisMatchesOperators(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	a := sparse.Poisson2D(9, 8)
+	n := a.Dim()
+	m, err := precond.NewJacobi(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := 4
+	for _, bt := range []basis.Type{basis.Monomial, basis.Newton, basis.Chebyshev} {
+		params, err := basis.New(bt, s, 0.2, 2.0, []float64{0.4, 1.0, 1.8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Seed vectors q, r and their preconditioned companions.
+		q := make([]float64, n)
+		r := make([]float64, n)
+		for i := range q {
+			q[i] = rng.NormFloat64()
+			r[i] = rng.NormFloat64()
+		}
+		p := make([]float64, n)
+		u := make([]float64, n)
+		m.Apply(p, q)
+		m.Apply(u, r)
+
+		qBlock := vec.NewBlock(n, s+1)
+		pBlock := vec.NewBlock(n, s+1)
+		rBlock := vec.NewBlock(n, s)
+		uBlock := vec.NewBlock(n, s)
+		if err := mpk.Compute(rawOp{a}, m, params, q, p, qBlock, pBlock); err != nil {
+			t.Fatal(err)
+		}
+		if err := mpk.Compute(rawOp{a}, m, params, r, u, rBlock, uBlock); err != nil {
+			t.Fatal(err)
+		}
+		y := &vec.Block{N: n, Cols: append(append([][]float64{}, qBlock.Cols...), rBlock.Cols...)}
+		z := &vec.Block{N: n, Cols: append(append([][]float64{}, pBlock.Cols...), uBlock.Cols...)}
+		bMat := params.CAPCGChangeOfBasis(s)
+
+		dim := 2*s + 1
+		for trial := 0; trial < 10; trial++ {
+			// Coefficients supported by the inner loop: zero at positions s
+			// and 2s (last columns of the Q and R blocks).
+			c := make([]float64, dim)
+			for i := range c {
+				c[i] = rng.NormFloat64()
+			}
+			c[s] = 0
+			c[2*s] = 0
+
+			// lhs = A·(Z·c)
+			zc := make([]float64, n)
+			z.MulVec(zc, c)
+			lhs := make([]float64, n)
+			a.MulVec(lhs, zc)
+			// rhs = Y·(B·c)
+			bc := make([]float64, dim)
+			for i := 0; i < dim; i++ {
+				var sum float64
+				for j := 0; j < dim; j++ {
+					sum += bMat.At(i, j) * c[j]
+				}
+				bc[i] = sum
+			}
+			rhs := make([]float64, n)
+			y.MulVec(rhs, bc)
+			for i := 0; i < n; i++ {
+				if math.Abs(lhs[i]-rhs[i]) > 1e-8*(1+math.Abs(lhs[i])) {
+					t.Fatalf("%v trial %d: A·Z·c != Y·B·c at row %d (%v vs %v)", bt, trial, i, lhs[i], rhs[i])
+				}
+			}
+		}
+	}
+}

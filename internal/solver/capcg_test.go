@@ -1,0 +1,137 @@
+package solver
+
+import (
+	"testing"
+
+	"spcg/internal/basis"
+	"spcg/internal/dist"
+	"spcg/internal/precond"
+	"spcg/internal/sparse"
+)
+
+func TestCAPCGMatchesPCGOnEasyProblem(t *testing.T) {
+	a := sparse.Poisson2D(16, 16)
+	b, xTrue := testProblem(a)
+	m, _ := precond.NewJacobi(a)
+	_, ps, err := PCG(a, m, b, Options{Tol: 1e-9, Criterion: RecursiveResidualMNorm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bt := range []basis.Type{basis.Monomial, basis.Newton, basis.Chebyshev} {
+		for _, s := range []int{1, 2, 4} {
+			x, ss, err := CAPCG(a, m, b, Options{S: s, Basis: bt, Tol: 1e-9, Criterion: RecursiveResidualMNorm})
+			if err != nil {
+				t.Fatalf("%v s=%d: %v", bt, s, err)
+			}
+			if !ss.Converged {
+				t.Fatalf("%v s=%d: did not converge (%v)", bt, s, ss.Breakdown)
+			}
+			if e := solutionError(x, xTrue); e > 1e-6 {
+				t.Fatalf("%v s=%d: solution error %v", bt, s, e)
+			}
+			if ss.Iterations < ps.Iterations-s || ss.Iterations > ps.Iterations+2*s {
+				t.Fatalf("%v s=%d: iterations %d vs PCG %d", bt, s, ss.Iterations, ps.Iterations)
+			}
+		}
+	}
+}
+
+func TestCAPCGCommunicationAndWorkCounts(t *testing.T) {
+	// Table 1's CA-PCG row: 2s−1 MVs and preconditioner applications per
+	// outer iteration, one (2s+1)²-value allreduce.
+	a := sparse.Poisson2D(20, 20)
+	b, _ := testProblem(a)
+	m, _ := precond.NewJacobi(a)
+	machine := dist.DefaultMachine()
+	machine.RanksPerNode = 8
+	cl, err := dist.NewCluster(machine, 1, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := dist.NewTracker(cl)
+	s := 5
+	_, ss, err := CAPCG(a, m, b, Options{S: s, Basis: basis.Chebyshev, Criterion: RecursiveResidualMNorm, Tracker: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ss.Converged {
+		t.Fatalf("did not converge: %v", ss.Breakdown)
+	}
+	k := ss.OuterIterations
+	if ss.Allreduces != k {
+		t.Fatalf("allreduces = %d, outer = %d", ss.Allreduces, k)
+	}
+	wantVals := k * (2*s + 1) * (2*s + 1)
+	if ss.AllreduceValues != wantVals {
+		t.Fatalf("allreduce values = %d, want %d", ss.AllreduceValues, wantVals)
+	}
+	// 1 initial + (2s−1) per outer iteration.
+	if ss.MVProducts != 1+(2*s-1)*k {
+		t.Fatalf("MVs = %d, want %d (outer=%d)", ss.MVProducts, 1+(2*s-1)*k, k)
+	}
+	if ss.PrecApplies != 1+(2*s-1)*k {
+		t.Fatalf("prec applies = %d, want %d", ss.PrecApplies, 1+(2*s-1)*k)
+	}
+}
+
+func TestCAPCGMonomialMoreRobustThanSPCGMonomial(t *testing.T) {
+	// Table 2: with the monomial basis, CA-PCG converges for more matrices
+	// than sPCG. On a moderately hard problem with s=10, CA-PCG should
+	// still converge (possibly delayed) where sPCG fails outright.
+	a := sparse.Poisson2D(40, 40)
+	b, _ := testProblem(a)
+	m, _ := precond.NewJacobi(a)
+	opts := Options{S: 8, Basis: basis.Monomial, Tol: 1e-9, MaxIterations: 3000, Criterion: TrueResidual2Norm}
+	_, ca, err := CAPCG(a, m, b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ca.Converged {
+		t.Skipf("CA-PCG monomial did not converge on this instance either (%v)", ca.Breakdown)
+	}
+	_, sp, err := SPCG(a, m, b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Converged && sp.Iterations < ca.Iterations {
+		t.Fatalf("sPCG monomial (%d iters) beat CA-PCG monomial (%d): contradicts the paper's robustness ordering",
+			sp.Iterations, ca.Iterations)
+	}
+}
+
+func TestCAPCGChebyshevHardProblem(t *testing.T) {
+	a := sparse.VarCoeff2D(30, 30, 3, 7)
+	b, xTrue := testProblem(a)
+	m, _ := precond.NewJacobi(a)
+	x, ss, err := CAPCG(a, m, b, Options{S: 10, Basis: basis.Chebyshev, Tol: 1e-9, MaxIterations: 6000, Criterion: TrueResidual2Norm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ss.Converged {
+		t.Fatalf("did not converge: %v (rel %v)", ss.Breakdown, ss.FinalRelative)
+	}
+	if e := solutionError(x, xTrue); e > 1e-5 {
+		t.Fatalf("solution error %v", e)
+	}
+}
+
+func TestCAPCGValidation(t *testing.T) {
+	a := sparse.Poisson1D(10)
+	if _, _, err := CAPCG(a, nil, make([]float64, 4), Options{S: 2}); err == nil {
+		t.Fatal("bad b accepted")
+	}
+	if _, _, err := CAPCG(a, nil, make([]float64, 10), Options{S: 2, X0: make([]float64, 2)}); err == nil {
+		t.Fatal("bad x0 accepted")
+	}
+}
+
+func TestCAPCGZeroRHS(t *testing.T) {
+	a := sparse.Poisson1D(12)
+	_, ss, err := CAPCG(a, nil, make([]float64, 12), Options{S: 3, Criterion: RecursiveResidualMNorm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ss.Converged || ss.Iterations != 0 {
+		t.Fatalf("zero rhs: %+v", ss)
+	}
+}

@@ -1,0 +1,199 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"spcg/internal/dist"
+	"spcg/internal/precond"
+	"spcg/internal/sparse"
+	"spcg/internal/vec"
+)
+
+// ctx is the shared instrumented execution context: it performs the actual
+// numerics and simultaneously counts events and charges the distributed cost
+// model. All solvers go through it so their measured costs are comparable.
+type ctx struct {
+	a       *sparse.CSR
+	m       precond.Interface
+	tr      *dist.Tracker
+	n       int
+	stats   *Stats
+	f32Gram bool
+}
+
+func newCtx(a *sparse.CSR, m precond.Interface, opts *Options, stats *Stats) (*ctx, error) {
+	if a == nil {
+		return nil, fmt.Errorf("%w: nil matrix", ErrDimension)
+	}
+	n := a.Dim()
+	if m == nil {
+		m = precond.NewIdentity(n)
+	}
+	if m.Dim() != n {
+		return nil, fmt.Errorf("%w: matrix n=%d, preconditioner n=%d", ErrDimension, n, m.Dim())
+	}
+	return &ctx{a: a, m: m, tr: opts.Tracker, n: n, stats: stats, f32Gram: opts.Float32Gram}, nil
+}
+
+// spmv computes dst = A·src, charging one distributed SpMV.
+func (c *ctx) spmv(dst, src []float64) {
+	c.a.MulVecPar(dst, src)
+	c.tr.SpMV()
+	c.stats.MVProducts++
+}
+
+// applyM computes dst = M⁻¹·src, charging one preconditioner application.
+func (c *ctx) applyM(dst, src []float64) {
+	c.m.Apply(dst, src)
+	c.tr.PrecApply(c.m.Flops(), c.m.HaloExchanges())
+	c.stats.PrecApplies++
+}
+
+// Dim implements mpk.Operator for instrumented wrappers below.
+
+// mpkOp adapts the context to mpk.Operator.
+type mpkOp struct{ c *ctx }
+
+func (o mpkOp) Dim() int                  { return o.c.n }
+func (o mpkOp) MulVec(dst, src []float64) { o.c.spmv(dst, src) }
+
+// mpkPrec adapts the context to mpk.Preconditioner.
+type mpkPrec struct{ c *ctx }
+
+func (p mpkPrec) Apply(dst, src []float64) { p.c.applyM(dst, src) }
+
+// allreduce charges one global reduction of the given payload (the values
+// themselves were already computed locally by gram/dot helpers).
+func (c *ctx) allreduce(values int) {
+	c.tr.Allreduce(values)
+	c.stats.Allreduces++
+	c.stats.AllreduceValues += values
+}
+
+// dot computes one globally reduced inner product (PCG-style: its own
+// allreduce).
+func (c *ctx) dot(a, b []float64) float64 {
+	v := vec.Dot(a, b)
+	c.tr.ReduceLocal(2*float64(c.n), 16*float64(c.n))
+	c.allreduce(1)
+	return v
+}
+
+// fusedDots computes k inner products whose locals are fused into a single
+// allreduce of k values (the 3-term and s-step solvers' pattern).
+func (c *ctx) fusedDots(pairs ...[2][]float64) []float64 {
+	out := make([]float64, len(pairs))
+	for i, p := range pairs {
+		out[i] = vec.Dot(p[0], p[1])
+		c.tr.ReduceLocal(2*float64(c.n), 16*float64(c.n))
+	}
+	c.allreduce(len(pairs))
+	return out
+}
+
+// localDot computes an inner product counted as local reduction work but
+// NOT allreduced — callers fuse it into a larger collective themselves.
+func (c *ctx) localDot(a, b []float64) float64 {
+	c.tr.ReduceLocal(2*float64(c.n), 16*float64(c.n))
+	return vec.Dot(a, b)
+}
+
+// gramLocal computes Xᵀ·Y locally, charging BLAS3-style reduction work.
+func (c *ctx) gramLocal(x, y *vec.Block) []float64 {
+	sa, sb := x.S(), y.S()
+	flops := 2 * float64(sa) * float64(sb) * float64(c.n)
+	bytes := 8 * float64(c.n) * float64(sa+sb) // blocked: stream each operand once
+	if c.f32Gram {
+		c.tr.ReduceLocal(flops, bytes/2)
+		return vec.GramF32(x, y)
+	}
+	c.tr.ReduceLocal(flops, bytes)
+	return vec.Gram(x, y)
+}
+
+// gramVecLocal computes Xᵀ·v locally.
+func (c *ctx) gramVecLocal(x *vec.Block, v []float64) []float64 {
+	s := x.S()
+	c.tr.ReduceLocal(2*float64(s)*float64(c.n), 8*float64(c.n)*float64(s+1))
+	return vec.GramVec(x, v)
+}
+
+// axpy charges y += α·x.
+func (c *ctx) axpy(alpha float64, x, y []float64) {
+	vec.Axpy(alpha, x, y)
+	c.tr.VectorOp(2*float64(c.n), 24*float64(c.n))
+}
+
+// xpay charges dst = x + α·y.
+func (c *ctx) xpay(dst, x []float64, alpha float64, y []float64) {
+	vec.XpayInto(dst, x, alpha, y)
+	c.tr.VectorOp(2*float64(c.n), 24*float64(c.n))
+}
+
+// threeTermUpdate charges dst = ρ(x − γ·y) + (1−ρ)·w, the BLAS1 pattern of
+// PCG3/CA-PCG3 (4 flops per row, 4 streams).
+func (c *ctx) threeTermUpdate(dst []float64, rho float64, x []float64, gamma float64, y, w []float64) {
+	for i := range dst {
+		dst[i] = rho*(x[i]-gamma*y[i]) + (1-rho)*w[i]
+	}
+	c.tr.VectorOp(4*float64(c.n), 32*float64(c.n))
+}
+
+// blockMulVec charges dst = X·coef (+O(sn) gather of a block combination).
+func (c *ctx) blockMulVec(dst []float64, x *vec.Block, coef []float64) {
+	x.MulVec(dst, coef)
+	s := float64(x.S())
+	c.tr.VectorOp(2*s*float64(c.n), 8*float64(c.n)*(s+1))
+}
+
+// blockMulVecAdd charges dst += X·coef.
+func (c *ctx) blockMulVecAdd(dst []float64, x *vec.Block, coef []float64) {
+	x.MulVecAdd(dst, coef)
+	s := float64(x.S())
+	c.tr.VectorOp(2*s*float64(c.n), 8*float64(c.n)*(s+1))
+}
+
+// blockMulVecSub charges dst -= X·coef.
+func (c *ctx) blockMulVecSub(dst []float64, x *vec.Block, coef []float64) {
+	x.MulVecSub(dst, coef)
+	s := float64(x.S())
+	c.tr.VectorOp(2*s*float64(c.n), 8*float64(c.n)*(s+1))
+}
+
+// blockAddMul charges dst = Y + X·C (the BLAS3 search-direction update).
+func (c *ctx) blockAddMul(dst, y, x *vec.Block, coef []float64) {
+	vec.ParAddMul(dst, y, x, coef)
+	sx, sd := float64(x.S()), float64(dst.S())
+	flops := 2 * sx * sd * float64(c.n)
+	bytes := 8 * float64(c.n) * (sx + 2*sd)
+	c.tr.VectorOp(flops, bytes)
+}
+
+// blockMul charges dst = X·C.
+func (c *ctx) blockMul(dst, x *vec.Block, coef []float64) {
+	vec.Mul(dst, x, coef)
+	sx, sd := float64(x.S()), float64(dst.S())
+	c.tr.VectorOp(2*sx*sd*float64(c.n), 8*float64(c.n)*(sx+sd))
+}
+
+// trueResidualNorm computes ‖b−Ax‖₂ explicitly (charged: SpMV + local dot +
+// allreduce).
+func (c *ctx) trueResidualNorm(b, x, scratch []float64) float64 {
+	c.spmv(scratch, x)
+	vec.Sub(scratch, b, scratch)
+	c.tr.VectorOp(float64(c.n), 24*float64(c.n))
+	v := c.localDot(scratch, scratch)
+	c.allreduce(1)
+	return math.Sqrt(v)
+}
+
+// finite reports whether all values are finite.
+func finite(vals ...float64) bool {
+	for _, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}

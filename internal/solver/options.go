@@ -1,0 +1,152 @@
+// Package solver implements the paper's algorithms: standard PCG (Alg. 1),
+// the three-term-recurrence PCG3 baseline, the original monomial-basis
+// s-step method sPCGmon (Alg. 2), the paper's contribution sPCG with
+// arbitrary basis types (Alg. 5 + 6), CA-PCG (Alg. 3) and CA-PCG3 (Alg. 4).
+//
+// All solvers share an instrumented execution context: every length-n
+// operation is counted and (optionally) charged against a dist.Tracker, so a
+// single run yields both the numerical result and the modeled distributed
+// cost that the paper's Tables 3 and Figure 1 report.
+package solver
+
+import (
+	"errors"
+	"fmt"
+
+	"spcg/internal/basis"
+	"spcg/internal/dist"
+	"spcg/internal/eig"
+)
+
+// Criterion selects the convergence test, matching the three used in the
+// paper's evaluation.
+type Criterion int
+
+const (
+	// TrueResidual2Norm stops when ‖b−Ax‖₂ ≤ tol·‖b−Ax⁰‖₂, computed
+	// explicitly (Table 2's criterion; costs one extra SpMV per check).
+	TrueResidual2Norm Criterion = iota
+	// RecursiveResidual2Norm uses the recursively updated residual's 2-norm
+	// (Table 3 columns 2–5; its local dot is fused into an existing global
+	// reduction).
+	RecursiveResidual2Norm
+	// RecursiveResidualMNorm uses √(rᵀM⁻¹r) of the recursive residual
+	// (Table 3 columns 6–9 and Figure 1; free — every solver already
+	// computes rᵀu).
+	RecursiveResidualMNorm
+)
+
+// String names the criterion.
+func (c Criterion) String() string {
+	switch c {
+	case TrueResidual2Norm:
+		return "true-2norm"
+	case RecursiveResidual2Norm:
+		return "recursive-2norm"
+	case RecursiveResidualMNorm:
+		return "recursive-mnorm"
+	default:
+		return fmt.Sprintf("solver.Criterion(%d)", int(c))
+	}
+}
+
+// Options configures a solver run. The zero value is usable: s defaults to
+// 10 (the paper's main setting), basis to Chebyshev, tolerance to 1e−9 and
+// the iteration cap to 12000, mirroring §5.2.
+type Options struct {
+	// S is the s-step block size (ignored by PCG/PCG3).
+	S int
+	// Basis selects the s-step basis type (ignored by PCG/PCG3 and sPCGmon,
+	// which is monomial by construction).
+	Basis basis.Type
+	// BasisParams overrides the generated basis parameters when non-nil.
+	BasisParams *basis.Params
+	// Spectrum supplies the λ estimates for Chebyshev/Newton bases. When
+	// nil and needed, it is computed with eig.RitzFromPCG (the paper's
+	// "a few iterations of standard PCG", excluded from timings).
+	Spectrum *eig.Estimate
+	// Tol is the relative residual reduction (default 1e−9).
+	Tol float64
+	// MaxIterations caps total PCG-equivalent iterations (default 12000;
+	// the paper's divergence cutoff).
+	MaxIterations int
+	// Criterion selects the convergence test.
+	Criterion Criterion
+	// Tracker, when non-nil, charges the distributed cost model.
+	Tracker *dist.Tracker
+	// X0 is the initial guess (default zero vector).
+	X0 []float64
+	// HistoryEvery records the criterion value every k checks into
+	// Stats.History (0 = record every check).
+	HistoryEvery int
+	// ResidualReplacement enables the Carson–Demmel style extension for
+	// SPCG and SPCGMon: the recursive residual is replaced by the true
+	// residual b−Ax at outer iterations where it has drifted, improving the
+	// maximum attainable accuracy (§1 cites this as a known stabilization).
+	// The CA-PCG variants rebuild their residual representation from the
+	// basis each outer iteration and ignore this option.
+	ResidualReplacement bool
+	// Float32Gram makes SPCG accumulate its Gram matrices in single
+	// precision — the mixed-precision setting studied by Carson, Gergelits &
+	// Yamazaki (paper ref. [5]). Halves the reduction bandwidth in exchange
+	// for a ~1e-7 relative floor on the Scalar Work inputs; useful as an
+	// ablation of precision sensitivity.
+	Float32Gram bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.S <= 0 {
+		o.S = 10
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-9
+	}
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 12000
+	}
+	return o
+}
+
+// Stats reports what a solver run did. Iterations are PCG-equivalent steps
+// (s-step methods count s per outer iteration), matching how the paper's
+// Table 2 reports them.
+type Stats struct {
+	// Converged reports whether the criterion was met within the cap.
+	Converged bool
+	// Iterations is the number of PCG-equivalent iterations at the moment
+	// the criterion was met (or the cap/breakdown hit).
+	Iterations int
+	// OuterIterations counts outer (block) iterations for s-step methods;
+	// equals Iterations for PCG/PCG3.
+	OuterIterations int
+	// FinalRelative is the last criterion value relative to its initial.
+	FinalRelative float64
+	// TrueRelResidual is ‖b−Ax‖₂/‖b−Ax⁰‖₂ of the returned x, always
+	// computed once at the end (not charged to the cost model).
+	TrueRelResidual float64
+	// History holds the relative criterion values at each recorded check.
+	History []float64
+	// MVProducts, PrecApplies, Allreduces, AllreduceValues count the
+	// communication-relevant events (also mirrored in the tracker).
+	MVProducts, PrecApplies, Allreduces, AllreduceValues int
+	// SimTime is the tracker's modeled wall-clock time (0 when untracked).
+	SimTime float64
+	// Breakdown records the numerical breakdown that stopped the run early,
+	// if any (the run still returns the best x reached).
+	Breakdown error
+	// ResidualReplacements counts how often the residual-replacement
+	// extension fired.
+	ResidualReplacements int
+	// Restarts counts regression restarts of the s-step block coupling
+	// (the search-direction history is dropped when the convergence
+	// criterion bounces well above its best value; see SPCG).
+	Restarts int
+}
+
+// ErrBreakdown wraps numerical breakdowns (singular Gram systems,
+// non-finite coefficients): the condition shown as "-" in the paper's
+// Table 2.
+var ErrBreakdown = errors.New("solver: numerical breakdown")
+
+// ErrDimension reports mismatched operand sizes.
+var ErrDimension = errors.New("solver: dimension mismatch")

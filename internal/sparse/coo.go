@@ -1,0 +1,81 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// COO is a coordinate-format builder used to assemble matrices entry by
+// entry before conversion to CSR. Duplicate (i,j) entries are summed on
+// conversion, matching finite-element assembly semantics.
+type COO struct {
+	N    int
+	rows []int
+	cols []int
+	vals []float64
+}
+
+// NewCOO returns an empty n×n builder.
+func NewCOO(n int) *COO {
+	if n < 0 {
+		panic("sparse: NewCOO negative dimension")
+	}
+	return &COO{N: n}
+}
+
+// Add appends entry (i,j,v). Zero values are kept (callers may rely on the
+// sparsity pattern, e.g. IC(0)).
+func (c *COO) Add(i, j int, v float64) {
+	if i < 0 || i >= c.N || j < 0 || j >= c.N {
+		panic(fmt.Sprintf("sparse: COO.Add index (%d,%d) out of range for n=%d", i, j, c.N))
+	}
+	c.rows = append(c.rows, i)
+	c.cols = append(c.cols, j)
+	c.vals = append(c.vals, v)
+}
+
+// AddSym appends (i,j,v) and, when i≠j, (j,i,v).
+func (c *COO) AddSym(i, j int, v float64) {
+	c.Add(i, j, v)
+	if i != j {
+		c.Add(j, i, v)
+	}
+}
+
+// NNZ returns the number of accumulated (pre-dedup) entries.
+func (c *COO) NNZ() int { return len(c.vals) }
+
+// ToCSR converts to CSR, summing duplicates and sorting columns per row.
+func (c *COO) ToCSR() *CSR {
+	n := c.N
+	order := make([]int, len(c.vals))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if c.rows[ia] != c.rows[ib] {
+			return c.rows[ia] < c.rows[ib]
+		}
+		return c.cols[ia] < c.cols[ib]
+	})
+	rowPtr := make([]int, n+1)
+	colIdx := make([]int, 0, len(c.vals))
+	val := make([]float64, 0, len(c.vals))
+	lastRow, lastCol := -1, -1
+	for _, k := range order {
+		r, cl, v := c.rows[k], c.cols[k], c.vals[k]
+		if r == lastRow && cl == lastCol {
+			val[len(val)-1] += v // merge duplicate
+			continue
+		}
+		rowPtr[r+1]++
+		colIdx = append(colIdx, cl)
+		val = append(val, v)
+		lastRow, lastCol = r, cl
+	}
+	for i := 0; i < n; i++ {
+		rowPtr[i+1] += rowPtr[i]
+	}
+	return &CSR{N: n, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+}

@@ -1,0 +1,188 @@
+// Package sparse provides the sparse-matrix substrate: CSR storage, sparse
+// matrix-vector products (sequential and row-partitioned parallel), SPD
+// diagnostics, problem generators for every matrix class used in the paper's
+// evaluation, and MatrixMarket I/O.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"spcg/internal/vec"
+)
+
+// CSR is a compressed-sparse-row matrix. RowPtr has length N+1; ColIdx and
+// Val have length NNZ with column indices sorted within each row.
+type CSR struct {
+	N      int // rows == cols; all solver matrices are square
+	RowPtr []int
+	ColIdx []int
+	Val    []float64
+}
+
+// NNZ returns the number of stored entries.
+func (a *CSR) NNZ() int { return len(a.Val) }
+
+// Dim returns the matrix dimension n.
+func (a *CSR) Dim() int { return a.N }
+
+// MulVec computes dst = A·x sequentially. dst must not alias x.
+func (a *CSR) MulVec(dst, x []float64) {
+	if len(x) != a.N || len(dst) != a.N {
+		panic(fmt.Sprintf("sparse: MulVec dim mismatch n=%d len(x)=%d len(dst)=%d", a.N, len(x), len(dst)))
+	}
+	for i := 0; i < a.N; i++ {
+		var s float64
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			s += a.Val[k] * x[a.ColIdx[k]]
+		}
+		dst[i] = s
+	}
+}
+
+// MulVecRows computes dst[lo:hi] = (A·x)[lo:hi]: the local part of a
+// block-row distributed SpMV (x must already include ghost values, i.e. be
+// the full vector).
+func (a *CSR) MulVecRows(dst, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		var s float64
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			s += a.Val[k] * x[a.ColIdx[k]]
+		}
+		dst[i] = s
+	}
+}
+
+// Diag returns a copy of the main diagonal (zeros for missing entries).
+func (a *CSR) Diag() []float64 {
+	d := make([]float64, a.N)
+	for i := 0; i < a.N; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if a.ColIdx[k] == i {
+				d[i] = a.Val[k]
+				break
+			}
+		}
+	}
+	return d
+}
+
+// At returns element (i,j) (zero if not stored). O(log nnz(row)).
+func (a *CSR) At(i, j int) float64 {
+	lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+	k := lo + sort.SearchInts(a.ColIdx[lo:hi], j)
+	if k < hi && a.ColIdx[k] == j {
+		return a.Val[k]
+	}
+	return 0
+}
+
+// IsSymmetric reports whether |a_ij − a_ji| ≤ tol·max|a| for all stored
+// entries (checking both triangles).
+func (a *CSR) IsSymmetric(tol float64) bool {
+	var scale float64
+	for _, v := range a.Val {
+		if av := math.Abs(v); av > scale {
+			scale = av
+		}
+	}
+	bound := tol * (1 + scale)
+	for i := 0; i < a.N; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := a.ColIdx[k]
+			if math.Abs(a.Val[k]-a.At(j, i)) > bound {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Gershgorin returns an interval [lo, hi] containing all eigenvalues by
+// Gershgorin's circle theorem. For SPD matrices lo is additionally clamped
+// at 0 is NOT done — callers needing positivity should max(lo, tiny).
+func (a *CSR) Gershgorin() (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for i := 0; i < a.N; i++ {
+		var d, r float64
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if a.ColIdx[k] == i {
+				d = a.Val[k]
+			} else {
+				r += math.Abs(a.Val[k])
+			}
+		}
+		if d-r < lo {
+			lo = d - r
+		}
+		if d+r > hi {
+			hi = d + r
+		}
+	}
+	return lo, hi
+}
+
+// RowNNZ returns the number of stored entries in row i.
+func (a *CSR) RowNNZ(i int) int { return a.RowPtr[i+1] - a.RowPtr[i] }
+
+// MaxRowNNZ returns the maximum entries in any row.
+func (a *CSR) MaxRowNNZ() int {
+	m := 0
+	for i := 0; i < a.N; i++ {
+		if r := a.RowNNZ(i); r > m {
+			m = r
+		}
+	}
+	return m
+}
+
+// Scale multiplies all stored values by alpha.
+func (a *CSR) Scale(alpha float64) {
+	for i := range a.Val {
+		a.Val[i] *= alpha
+	}
+}
+
+// AddDiag adds alpha to every diagonal entry (the entry must be stored;
+// all generators in this package store full diagonals).
+func (a *CSR) AddDiag(alpha float64) {
+	for i := 0; i < a.N; i++ {
+		found := false
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if a.ColIdx[k] == i {
+				a.Val[k] += alpha
+				found = true
+				break
+			}
+		}
+		if !found {
+			panic(fmt.Sprintf("sparse: AddDiag row %d has no stored diagonal", i))
+		}
+	}
+}
+
+// MulBlock computes one SpMV per column: dst_j = A·x_j.
+func (a *CSR) MulBlock(dst, x *vec.Block) {
+	if dst.S() != x.S() {
+		panic("sparse: MulBlock column-count mismatch")
+	}
+	for j := 0; j < x.S(); j++ {
+		a.MulVec(dst.Col(j), x.Col(j))
+	}
+}
+
+// Dense returns the matrix as row-major dense data (test helper; panics for
+// n > 4096 to catch accidental use on large problems).
+func (a *CSR) Dense() []float64 {
+	if a.N > 4096 {
+		panic("sparse: Dense called on large matrix")
+	}
+	d := make([]float64, a.N*a.N)
+	for i := 0; i < a.N; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			d[i*a.N+a.ColIdx[k]] = a.Val[k]
+		}
+	}
+	return d
+}

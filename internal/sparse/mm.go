@@ -1,0 +1,118 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteMatrixMarket writes a in MatrixMarket coordinate format
+// ("%%MatrixMarket matrix coordinate real general", 1-based indices).
+func WriteMatrixMarket(w io.Writer, a *CSR) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n%d %d %d\n", a.N, a.N, a.NNZ()); err != nil {
+		return err
+	}
+	for i := 0; i < a.N; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", i+1, a.ColIdx[k]+1, a.Val[k]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrixMarket parses a MatrixMarket coordinate file. Supported
+// qualifiers: real/integer/pattern × general/symmetric. Symmetric files are
+// expanded to full storage. Pattern entries get value 1.
+func ReadMatrixMarket(r io.Reader) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("sparse: empty MatrixMarket stream")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 4 || header[0] != "%%matrixmarket" || header[1] != "matrix" || header[2] != "coordinate" {
+		return nil, fmt.Errorf("sparse: unsupported MatrixMarket header %q", sc.Text())
+	}
+	valType := header[3]
+	symmetric := false
+	if len(header) >= 5 {
+		switch header[4] {
+		case "general":
+		case "symmetric":
+			symmetric = true
+		default:
+			return nil, fmt.Errorf("sparse: unsupported symmetry %q", header[4])
+		}
+	}
+	switch valType {
+	case "real", "integer", "pattern":
+	default:
+		return nil, fmt.Errorf("sparse: unsupported value type %q", valType)
+	}
+	// Skip comments, read size line.
+	var n, m, nnz int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscanf(line, "%d %d %d", &n, &m, &nnz); err != nil {
+			return nil, fmt.Errorf("sparse: bad size line %q: %w", line, err)
+		}
+		break
+	}
+	if n != m {
+		return nil, fmt.Errorf("sparse: matrix is %d×%d, need square", n, m)
+	}
+	coo := NewCOO(n)
+	read := 0
+	for read < nnz && sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("sparse: bad entry line %q", line)
+		}
+		i, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("sparse: bad row index %q: %w", fields[0], err)
+		}
+		j, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("sparse: bad col index %q: %w", fields[1], err)
+		}
+		v := 1.0
+		if valType != "pattern" {
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("sparse: missing value in %q", line)
+			}
+			v, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("sparse: bad value %q: %w", fields[2], err)
+			}
+		}
+		if i < 1 || i > n || j < 1 || j > n {
+			return nil, fmt.Errorf("sparse: entry (%d,%d) out of range for n=%d", i, j, n)
+		}
+		if symmetric && i != j {
+			coo.AddSym(i-1, j-1, v)
+		} else {
+			coo.Add(i-1, j-1, v)
+		}
+		read++
+	}
+	if read != nnz {
+		return nil, fmt.Errorf("sparse: expected %d entries, got %d", nnz, read)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return coo.ToCSR(), nil
+}

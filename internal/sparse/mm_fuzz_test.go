@@ -1,0 +1,53 @@
+package sparse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadMatrixMarket hardens the only parser of external input: arbitrary
+// bytes must produce either a structurally valid CSR or an error — never a
+// panic, and never an inconsistent matrix.
+func FuzzReadMatrixMarket(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.5\n")
+	f.Add("%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n1 1 2.0\n2 1 -1\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n2 2\n")
+	f.Add("%%MatrixMarket matrix coordinate integer general\n1 1 1\n1 1 7\n")
+	f.Add("")
+	f.Add("%%MatrixMarket matrix coordinate real general\n% comment\n\n2 2 1\n1 1 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		a, err := ReadMatrixMarket(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Structural invariants of any successfully parsed matrix.
+		if a.N < 0 || len(a.RowPtr) != a.N+1 || a.RowPtr[0] != 0 {
+			t.Fatalf("bad row pointer structure: n=%d len=%d", a.N, len(a.RowPtr))
+		}
+		if a.RowPtr[a.N] != len(a.Val) || len(a.ColIdx) != len(a.Val) {
+			t.Fatal("rowptr/val/colidx inconsistent")
+		}
+		for i := 0; i < a.N; i++ {
+			if a.RowPtr[i] > a.RowPtr[i+1] {
+				t.Fatal("rowptr not monotone")
+			}
+			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+				if a.ColIdx[k] < 0 || a.ColIdx[k] >= a.N {
+					t.Fatalf("column %d out of range", a.ColIdx[k])
+				}
+				if k > a.RowPtr[i] && a.ColIdx[k-1] >= a.ColIdx[k] {
+					t.Fatal("columns not strictly sorted within a row")
+				}
+			}
+		}
+		// A parsed matrix must survive a write/read round trip.
+		var buf bytes.Buffer
+		if err := WriteMatrixMarket(&buf, a); err != nil {
+			t.Fatalf("re-serialize: %v", err)
+		}
+		if _, err := ReadMatrixMarket(&buf); err != nil {
+			t.Fatalf("re-parse: %v", err)
+		}
+	})
+}

@@ -1,0 +1,79 @@
+package sparse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	a := VarCoeff2D(6, 7, 3, 21)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.N != a.N || b.NNZ() != a.NNZ() {
+		t.Fatalf("shape %d/%d vs %d/%d", b.N, b.NNZ(), a.N, a.NNZ())
+	}
+	for i := range a.Val {
+		if a.Val[i] != b.Val[i] || a.ColIdx[i] != b.ColIdx[i] {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+}
+
+func TestMatrixMarketSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+% lower triangle only
+3 3 4
+1 1 2.0
+2 1 -1.0
+2 2 2.0
+3 3 2.0
+`
+	a, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 1) != -1 || a.At(1, 0) != -1 {
+		t.Fatalf("symmetric expansion failed: %v %v", a.At(0, 1), a.At(1, 0))
+	}
+	if a.NNZ() != 5 {
+		t.Fatalf("nnz = %d, want 5", a.NNZ())
+	}
+}
+
+func TestMatrixMarketPattern(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n2 2\n"
+	a, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 0) != 1 || a.At(1, 1) != 1 {
+		t.Fatal("pattern values should be 1")
+	}
+}
+
+func TestMatrixMarketErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"bad header":   "%%MatrixMarket matrix array real general\n2 2 1\n1 1 1\n",
+		"bad symmetry": "%%MatrixMarket matrix coordinate real hermitian\n2 2 1\n1 1 1\n",
+		"bad type":     "%%MatrixMarket matrix coordinate complex general\n2 2 1\n1 1 1 1\n",
+		"rectangular":  "%%MatrixMarket matrix coordinate real general\n2 3 1\n1 1 1\n",
+		"short":        "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1\n",
+		"out of range": "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1\n",
+		"bad value":    "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 xyz\n",
+		"bad row":      "%%MatrixMarket matrix coordinate real general\n2 2 1\nx 1 1\n",
+		"missing val":  "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRCMIsPermutation(t *testing.T) {
+	for _, a := range []*CSR{Poisson2D(9, 7), RandomGraphLaplacian(80, 2, 0.1, 4), Poisson1D(20)} {
+		perm := RCM(a)
+		if len(perm) != a.Dim() {
+			t.Fatalf("perm length %d != %d", len(perm), a.Dim())
+		}
+		seen := make([]bool, a.Dim())
+		for _, v := range perm {
+			if v < 0 || v >= a.Dim() || seen[v] {
+				t.Fatalf("perm is not a permutation: %v", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestRCMReducesBandwidth(t *testing.T) {
+	// A randomly permuted grid has large bandwidth; RCM must shrink it back
+	// to grid-like levels.
+	grid := Poisson2D(20, 20)
+	rng := rand.New(rand.NewSource(3))
+	shuffle := rng.Perm(grid.Dim())
+	scrambled := Permute(grid, shuffle)
+	before := Bandwidth(scrambled)
+	perm := RCM(scrambled)
+	after := Bandwidth(Permute(scrambled, perm))
+	if after >= before/4 {
+		t.Fatalf("RCM bandwidth %d not clearly below scrambled %d", after, before)
+	}
+	// Grid bandwidth is nx-ish; RCM should be in that ballpark (within 3×).
+	if after > 3*20 {
+		t.Fatalf("RCM bandwidth %d too large for a 20×20 grid", after)
+	}
+}
+
+func TestPermuteSimilarityTransform(t *testing.T) {
+	// P·A·Pᵀ must preserve SpMV results up to reindexing.
+	a := VarCoeff2D(8, 9, 2, 6)
+	rng := rand.New(rand.NewSource(7))
+	perm := rng.Perm(a.Dim())
+	pa := Permute(a, perm)
+	x := make([]float64, a.Dim())
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	// y = A·x computed directly.
+	y := make([]float64, a.Dim())
+	a.MulVec(y, x)
+	// yp = (PAPᵀ)·(Px) must equal P·y.
+	px := PermuteVec(x, perm)
+	yp := make([]float64, a.Dim())
+	pa.MulVec(yp, px)
+	py := PermuteVec(y, perm)
+	for i := range py {
+		if math.Abs(yp[i]-py[i]) > 1e-12*(1+math.Abs(py[i])) {
+			t.Fatalf("similarity transform violated at %d", i)
+		}
+	}
+	// Round trip through UnpermuteVec.
+	back := UnpermuteVec(px, perm)
+	for i := range back {
+		if back[i] != x[i] {
+			t.Fatal("Unpermute does not invert Permute")
+		}
+	}
+}
+
+func TestRCMShrinksHaloOfScrambledGrid(t *testing.T) {
+	// The practical payoff: fewer ghost entries per block after reordering.
+	grid := Poisson2D(24, 24)
+	rng := rand.New(rand.NewSource(8))
+	scrambled := Permute(grid, rng.Perm(grid.Dim()))
+	ghosts := func(a *CSR, p int) int {
+		bounds := NNZBalancedRanges(a, p)
+		total := 0
+		for r := 0; r < p; r++ {
+			lo, hi := bounds[r], bounds[r+1]
+			seen := map[int]struct{}{}
+			for i := lo; i < hi; i++ {
+				for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+					if j := a.ColIdx[k]; j < lo || j >= hi {
+						seen[j] = struct{}{}
+					}
+				}
+			}
+			total += len(seen)
+		}
+		return total
+	}
+	before := ghosts(scrambled, 8)
+	after := ghosts(Permute(scrambled, RCM(scrambled)), 8)
+	if after >= before/2 {
+		t.Fatalf("RCM halo %d not clearly below scrambled %d", after, before)
+	}
+}
+
+func TestPermuteValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Permute(Poisson1D(4), []int{0, 1})
+}

@@ -1,0 +1,238 @@
+package spmd
+
+import (
+	"fmt"
+	"math"
+
+	"spcg/internal/basis"
+	"spcg/internal/dense"
+	"spcg/internal/sparse"
+	"spcg/internal/vec"
+)
+
+// CAPCGJacobi solves A·x = b with Toledo's CA-PCG executed by p real SPMD
+// ranks: two matrix-powers blocks per outer iteration (2s−1 halo exchanges),
+// one (2s+1)²-value collective for the Gram matrix, and the s inner
+// iterations run redundantly on every rank in the changed basis — the
+// communication pattern of paper Algorithm 3, with real messages.
+func CAPCGJacobi(a *sparse.CSR, b []float64, p, s int, params *basis.Params, tol float64, maxIters int) (*Result, error) {
+	n := a.Dim()
+	if len(b) != n {
+		return nil, fmt.Errorf("spmd: rhs length %d != %d", len(b), n)
+	}
+	if s < 1 {
+		return nil, fmt.Errorf("spmd: s = %d < 1", s)
+	}
+	if params == nil || params.Degree() < s {
+		return nil, fmt.Errorf("spmd: basis params missing or degree < s")
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	if maxIters <= 0 {
+		maxIters = 10 * n
+	}
+	locals, err := Distribute(a, p)
+	if err != nil {
+		return nil, err
+	}
+	for _, lm := range locals {
+		for i, d := range lm.DiagLocal() {
+			if d <= 0 {
+				return nil, fmt.Errorf("spmd: non-positive diagonal at row %d", lm.Lo+i)
+			}
+		}
+	}
+	bMat := params.CAPCGChangeOfBasis(s)
+	dim := 2*s + 1
+
+	res := &Result{X: make([]float64, n)}
+	iters := make([]int, p)
+	conv := make([]bool, p)
+	reduces := make([]int, p)
+	errs := make([]error, p)
+
+	w := NewWorld(p)
+	w.Run(func(rk *Rank) {
+		lm := locals[rk.ID]
+		nl := lm.NLocal()
+		invD := lm.DiagLocal()
+		for i := range invD {
+			invD[i] = 1 / invD[i]
+		}
+		applyM := func(dst, src []float64) {
+			for i := range dst {
+				dst[i] = invD[i] * src[i]
+			}
+		}
+		// mpkLocal fills S (and its preconditioned companion U) column by
+		// column with one halo exchange per new column.
+		z := make([]float64, nl)
+		mpkLocal := func(S, U *vec.Block, w0, u0 []float64) {
+			vec.Copy(S.Col(0), w0)
+			vec.Copy(U.Col(0), u0)
+			deg := S.S() - 1
+			for l := 0; l < deg; l++ {
+				lm.SpMV(rk, z, U.Col(l))
+				var prev []float64
+				var mu float64
+				if l > 0 {
+					prev = S.Col(l - 1)
+					mu = params.Mu[l-1]
+				}
+				vec.Threeterm(S.Col(l+1), z, params.Theta[l], S.Col(l), mu, prev, params.Gamma[l])
+				if l+1 < U.S() {
+					applyM(U.Col(l+1), S.Col(l+1))
+				}
+			}
+			if U.S() == S.S() {
+				applyM(U.Col(U.S()-1), S.Col(S.S()-1))
+			}
+		}
+
+		x := make([]float64, nl)
+		r := append([]float64(nil), b[lm.Lo:lm.Hi]...)
+		u := make([]float64, nl)
+		q := append([]float64(nil), r...)
+		pv := make([]float64, nl)
+		applyM(u, r)
+		copy(pv, u)
+
+		qBlock := vec.NewBlock(nl, s+1)
+		pBlock := vec.NewBlock(nl, s+1)
+		rBlock := vec.NewBlock(nl, s)
+		uBlock := vec.NewBlock(nl, s)
+		y := &vec.Block{N: nl, Cols: append(append([][]float64{}, qBlock.Cols...), rBlock.Cols...)}
+		zB := &vec.Block{N: nl, Cols: append(append([][]float64{}, pBlock.Cols...), uBlock.Cols...)}
+
+		pc := make([]float64, dim)
+		rc := make([]float64, dim)
+		xc := make([]float64, dim)
+		bp := make([]float64, dim)
+		tmp := make([]float64, dim)
+
+		rho0 := -1.0
+		maxOuter := (maxIters + s - 1) / s
+		for k := 0; k <= maxOuter; k++ {
+			var localRho float64
+			for i := range r {
+				localRho += r[i] * u[i]
+			}
+			reduces[rk.ID]++
+			rho := rk.Allreduce([]float64{localRho})[0]
+			if rho < 0 || math.IsNaN(rho) {
+				errs[rk.ID] = fmt.Errorf("spmd: rᵀM⁻¹r = %v", rho)
+				return
+			}
+			if rho0 < 0 {
+				rho0 = rho
+			}
+			if math.Sqrt(rho/rho0) <= tol {
+				conv[rk.ID] = true
+				break
+			}
+			if k == maxOuter {
+				break
+			}
+
+			mpkLocal(qBlock, pBlock, q, pv)
+			if s >= 2 {
+				mpkLocal(rBlock, uBlock, r, u)
+			} else {
+				vec.Copy(rBlock.Col(0), r)
+				vec.Copy(uBlock.Col(0), u)
+			}
+
+			// The single big collective: G = ZᵀY.
+			reduces[rk.ID]++
+			g := dense.FromRowMajor(dim, dim, rk.Allreduce(vec.Gram(zB, y)))
+
+			// Inner iterations in the changed basis (redundant per rank).
+			for i := range pc {
+				pc[i], rc[i], xc[i] = 0, 0, 0
+			}
+			pc[0] = 1
+			rc[s+1] = 1
+			rGr := quadFormLocal(g, rc, tmp)
+			for j := 0; j < s; j++ {
+				matVecLocal(bMat, pc, bp)
+				den := bilinearLocal(g, pc, bp, tmp)
+				if den <= 0 || math.IsNaN(den) {
+					errs[rk.ID] = fmt.Errorf("spmd: p'ᵀGBp' = %v", den)
+					return
+				}
+				alpha := rGr / den
+				for i := range xc {
+					xc[i] += alpha * pc[i]
+					rc[i] -= alpha * bp[i]
+				}
+				rGrNew := quadFormLocal(g, rc, tmp)
+				if rGrNew < 0 || math.IsNaN(rGrNew) {
+					errs[rk.ID] = fmt.Errorf("spmd: r'ᵀGr' = %v", rGrNew)
+					return
+				}
+				beta := rGrNew / rGr
+				rGr = rGrNew
+				for i := range pc {
+					pc[i] = rc[i] + beta*pc[i]
+				}
+			}
+
+			// Recovery (local, no communication).
+			y.MulVec(q, pc)
+			y.MulVec(r, rc)
+			zB.MulVec(pv, pc)
+			zB.MulVec(u, rc)
+			zB.MulVecAdd(x, xc)
+			iters[rk.ID] = (k + 1) * s
+		}
+		copy(res.X[lm.Lo:lm.Hi], x)
+	})
+
+	for r := 0; r < p; r++ {
+		if errs[r] != nil {
+			return nil, fmt.Errorf("spmd: rank %d: %w", r, errs[r])
+		}
+	}
+	res.Iterations = iters[0]
+	res.Converged = conv[0]
+	res.Allreduces = reduces[0]
+	for r := 1; r < p; r++ {
+		if iters[r] != iters[0] || conv[r] != conv[0] {
+			return nil, fmt.Errorf("spmd: ranks diverged in control flow")
+		}
+	}
+	return res, nil
+}
+
+func matVecLocal(m *dense.Mat, v, dst []float64) {
+	for i := 0; i < m.R; i++ {
+		var sum float64
+		row := m.Data[i*m.C : (i+1)*m.C]
+		for j, vj := range v {
+			sum += row[j] * vj
+		}
+		dst[i] = sum
+	}
+}
+
+func quadFormLocal(g *dense.Mat, v, tmp []float64) float64 {
+	matVecLocal(g, v, tmp)
+	var sum float64
+	for i, vi := range v {
+		sum += vi * tmp[i]
+	}
+	return sum
+}
+
+func bilinearLocal(g *dense.Mat, a, b, tmp []float64) float64 {
+	matVecLocal(g, b, tmp)
+	var sum float64
+	for i, ai := range a {
+		sum += ai * tmp[i]
+	}
+	return sum
+}

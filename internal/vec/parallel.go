@@ -1,0 +1,119 @@
+package vec
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the minimum slice length at which the parallel kernel
+// variants fan out to goroutines; below it the sequential kernels win because
+// of spawn/synchronization overhead.
+const parallelThreshold = 1 << 15
+
+// maxWorkers bounds goroutine fan-out for the parallel kernels.
+var maxWorkers = runtime.GOMAXPROCS(0)
+
+// SetMaxWorkers overrides the worker count used by the Par* kernels
+// (0 restores the GOMAXPROCS default). It returns the previous value.
+// Intended for benchmarks that sweep shared-memory parallelism.
+func SetMaxWorkers(w int) int {
+	prev := maxWorkers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	maxWorkers = w
+	return prev
+}
+
+// parallelFor splits [0,n) into at most maxWorkers contiguous chunks and runs
+// body(lo,hi) on each concurrently. body must only touch indexes in [lo,hi).
+func parallelFor(n int, body func(lo, hi int)) {
+	workers := maxWorkers
+	if n < parallelThreshold || workers <= 1 {
+		body(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ParDot is Dot with goroutine parallelism for large vectors. The partial
+// sums are combined in chunk order so the result is deterministic for a fixed
+// worker count.
+func ParDot(a, b []float64) float64 {
+	n := len(a)
+	if len(b) != n {
+		panic("vec: ParDot length mismatch")
+	}
+	if n < parallelThreshold || maxWorkers <= 1 {
+		return Dot(a, b)
+	}
+	workers := maxWorkers
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	partials := make([]float64, (n+chunk-1)/chunk)
+	var wg sync.WaitGroup
+	for k, lo := 0, 0; lo < n; k, lo = k+1, lo+chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(k, lo, hi int) {
+			defer wg.Done()
+			partials[k] = Dot(a[lo:hi], b[lo:hi])
+		}(k, lo, hi)
+	}
+	wg.Wait()
+	var s float64
+	for _, p := range partials {
+		s += p
+	}
+	return s
+}
+
+// ParAxpy is Axpy with goroutine parallelism for large vectors.
+func ParAxpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("vec: ParAxpy length mismatch")
+	}
+	parallelFor(len(x), func(lo, hi int) {
+		Axpy(alpha, x[lo:hi], y[lo:hi])
+	})
+}
+
+// ParAddMul is AddMul with row-range goroutine parallelism.
+func ParAddMul(dst, y, x *Block, c []float64) {
+	sx, sd := x.S(), dst.S()
+	if y.S() != sd || len(c) != sx*sd || y.N != x.N || dst.N != x.N {
+		panic("vec: ParAddMul shape mismatch")
+	}
+	parallelFor(x.N, func(lo, hi int) {
+		for j := 0; j < sd; j++ {
+			d, yc := dst.Cols[j][lo:hi], y.Cols[j][lo:hi]
+			if &d[0] != &yc[0] {
+				copy(d, yc)
+			}
+			for i := 0; i < sx; i++ {
+				Axpy(c[i*sd+j], x.Cols[i][lo:hi], d)
+			}
+		}
+	})
+}

@@ -1,0 +1,110 @@
+package spcg_test
+
+import (
+	"math"
+	"testing"
+
+	"spcg"
+)
+
+// TestPublicAPIQuickstart exercises the README's quick-start path end to end.
+func TestPublicAPIQuickstart(t *testing.T) {
+	a := spcg.Poisson3D(12, 12, 12)
+	n := a.Dim()
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = 1 / math.Sqrt(float64(n))
+	}
+	b := make([]float64, n)
+	a.MulVec(b, xTrue)
+	m, err := spcg.NewJacobi(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, stats, err := spcg.SPCG(a, m, b, spcg.Options{S: 10, Basis: spcg.Chebyshev, Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Converged {
+		t.Fatalf("did not converge: %+v", stats)
+	}
+	var errNorm float64
+	for i := range x {
+		d := x[i] - xTrue[i]
+		errNorm += d * d
+	}
+	if math.Sqrt(errNorm) > 1e-7 {
+		t.Fatalf("solution error %v", math.Sqrt(errNorm))
+	}
+}
+
+// TestPublicAPITrackedRun exercises the cost-model path through the facade.
+func TestPublicAPITrackedRun(t *testing.T) {
+	a := spcg.Poisson2D(24, 24)
+	b := make([]float64, a.Dim())
+	for i := range b {
+		b[i] = 1
+	}
+	machine := spcg.DefaultMachine()
+	machine.RanksPerNode = 8
+	cl, err := spcg.NewCluster(machine, 2, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := spcg.PCG(a, nil, b, spcg.Options{Tracker: spcg.NewTracker(cl)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SimTime <= 0 {
+		t.Fatal("no simulated time through the public API")
+	}
+}
+
+// TestPublicAPISpectrum exercises spectral estimation + explicit basis use.
+func TestPublicAPISpectrum(t *testing.T) {
+	a := spcg.Poisson1D(200)
+	est, err := spcg.EstimateSpectrum(a, nil, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(est.LambdaMin > 0 && est.LambdaMin < est.LambdaMax) {
+		t.Fatalf("bad estimate: [%v, %v]", est.LambdaMin, est.LambdaMax)
+	}
+	b := make([]float64, a.Dim())
+	b[0] = 1
+	_, stats, err := spcg.CAPCG(a, nil, b, spcg.Options{S: 5, Basis: spcg.Newton, Spectrum: est})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Converged {
+		t.Fatalf("Newton-basis CA-PCG failed: %+v", stats.Breakdown)
+	}
+}
+
+// TestPublicAPIDistributed exercises the SPMD facade.
+func TestPublicAPIDistributed(t *testing.T) {
+	a := spcg.Poisson2D(20, 20)
+	b := make([]float64, a.Dim())
+	for i := range b {
+		b[i] = float64(i%5) - 2
+	}
+	res, err := spcg.DistributedPCG(a, b, 4, 1e-9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("distributed PCG did not converge")
+	}
+	// Verify against the operator directly.
+	ax := make([]float64, a.Dim())
+	a.MulVec(ax, res.X)
+	var num, den float64
+	for i := range ax {
+		d := ax[i] - b[i]
+		num += d * d
+		den += b[i] * b[i]
+	}
+	if math.Sqrt(num/den) > 1e-8 {
+		t.Fatalf("residual %v", math.Sqrt(num/den))
+	}
+}

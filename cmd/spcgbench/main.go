@@ -5,6 +5,7 @@
 //	spcgbench table3 [-scale 32] [-nodes 4]
 //	spcgbench fig1   [-dim 64] [-maxnodes 128] [-svalues 5,10,15]
 //	spcgbench ablation
+//	spcgbench faults [-dim 20] [-s 6]
 //
 // Scale divides the paper's matrix sizes (1 = full size); see DESIGN.md for
 // the experiment-to-module index.
@@ -130,6 +131,12 @@ func main() {
 		if err == nil {
 			experiments.RenderAblation(os.Stdout, res)
 		}
+	case "faults":
+		var res *experiments.FaultsResult
+		res, err = experiments.RunFaults(cfg, *dim, nil, nil)
+		if err == nil {
+			experiments.RenderFaults(os.Stdout, res)
+		}
 	default:
 		usage()
 		os.Exit(2)
@@ -142,6 +149,6 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: spcgbench <table1|table2|table3|fig1|ablation|predict|pipeline> [flags]
+	fmt.Fprintln(os.Stderr, `usage: spcgbench <table1|table2|table3|fig1|ablation|predict|pipeline|faults> [flags]
 Run "spcgbench <cmd> -h" for per-command flags.`)
 }

@@ -1,0 +1,203 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"spcg/internal/sparse"
+)
+
+// chargeSequence charges a representative event mix.
+func chargeSequence(tr *Tracker) {
+	for i := 0; i < 40; i++ {
+		tr.SpMV()
+		tr.PrecApply(1000, 1)
+		tr.VectorOp(2000, 24000)
+		tr.ReduceLocal(1152, 9216)
+		tr.Allreduce(3)
+		tr.AllreduceOverlappedBySpMVPrec(2, 500)
+		tr.Halo()
+	}
+}
+
+func TestZeroFaultModelIsNoop(t *testing.T) {
+	a := sparse.Poisson2D(20, 20)
+	m := testMachine()
+	clean, err := NewCluster(m, 1, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mz := m
+	mz.Faults = FaultModel{} // explicit zero value
+	zero, err := NewCluster(mz, 1, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, t2 := NewTracker(clean), NewTracker(zero)
+	chargeSequence(t1)
+	chargeSequence(t2)
+	if t1.Time != t2.Time {
+		t.Fatalf("zero fault model changed time: %v vs %v", t1.Time, t2.Time)
+	}
+	if t1.Counts != t2.Counts {
+		t.Fatalf("zero fault model changed counts: %+v vs %+v", t1.Counts, t2.Counts)
+	}
+	if t2.Counts.RetriedMessages != 0 {
+		t.Fatalf("retries charged without faults: %d", t2.Counts.RetriedMessages)
+	}
+}
+
+func TestCommFaultsChargeRetriesAndBackoff(t *testing.T) {
+	a := sparse.Poisson2D(20, 20)
+	m := testMachine()
+	clean, _ := NewCluster(m, 1, a)
+	mf := m
+	mf.Faults = FaultModel{CommFailProb: 0.3, Seed: 11}
+	faulty, err := NewCluster(mf, 1, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trClean, trFaulty := NewTracker(clean), NewTracker(faulty)
+	chargeSequence(trClean)
+	chargeSequence(trFaulty)
+	if trFaulty.Counts.RetriedMessages == 0 {
+		t.Fatal("no retries drawn at 30% failure probability")
+	}
+	if trFaulty.Time <= trClean.Time {
+		t.Fatalf("retry cost not charged: faulty %v <= clean %v", trFaulty.Time, trClean.Time)
+	}
+	// The extra time must equal the retry pricing: with the per-event retry
+	// counts unknown here, check the aggregate lower bound of one timeout per
+	// retried message.
+	timeout, _ := mf.Faults.timing(mf.NetLatency)
+	if extra := trFaulty.Time - trClean.Time; extra < float64(trFaulty.Counts.RetriedMessages)*timeout {
+		t.Fatalf("extra time %v below %d retries × timeout %v", extra, trFaulty.Counts.RetriedMessages, timeout)
+	}
+	// Everything except retries is identical: event counts match.
+	if trFaulty.Counts.SpMVs != trClean.Counts.SpMVs || trFaulty.Counts.Allreduces != trClean.Counts.Allreduces {
+		t.Fatal("fault model changed event counts")
+	}
+}
+
+func TestCommFaultStreamIsSeeded(t *testing.T) {
+	a := sparse.Poisson1D(64)
+	m := testMachine()
+	m.Faults = FaultModel{CommFailProb: 0.25, Seed: 3}
+	c, _ := NewCluster(m, 1, a)
+	run := func() (float64, int) {
+		tr := NewTracker(c)
+		chargeSequence(tr)
+		return tr.Time, tr.Counts.RetriedMessages
+	}
+	time1, r1 := run()
+	time2, r2 := run()
+	if time1 != time2 || r1 != r2 {
+		t.Fatalf("same seed produced different charges: (%v,%d) vs (%v,%d)", time1, r1, time2, r2)
+	}
+	m.Faults.Seed = 4
+	c2, _ := NewCluster(m, 1, a)
+	tr := NewTracker(c2)
+	chargeSequence(tr)
+	if tr.Counts.RetriedMessages == r1 && tr.Time == time1 {
+		t.Fatal("different seeds produced identical retry streams")
+	}
+}
+
+func TestStragglerStretchesRoofline(t *testing.T) {
+	a := sparse.Poisson2D(16, 16)
+	m := testMachine()
+	clean, _ := NewCluster(m, 1, a)
+	ms := m
+	ms.Faults = FaultModel{StragglerFactor: 2.5}
+	slow, err := NewCluster(ms, 1, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := clean.Roofline(1e6, 1e6)
+	stretched := slow.Roofline(1e6, 1e6)
+	if math.Abs(stretched-2.5*base) > 1e-15*stretched {
+		t.Fatalf("straggler roofline = %v, want %v", stretched, 2.5*base)
+	}
+	// Communication costs are unaffected by a straggler.
+	if clean.AllreduceTime(4) != slow.AllreduceTime(4) || clean.HaloTime() != slow.HaloTime() {
+		t.Fatal("straggler changed communication costs")
+	}
+}
+
+func TestReplayReproducesFaultChargesExactly(t *testing.T) {
+	a := sparse.Poisson2D(24, 24)
+	m := testMachine()
+	m.Faults = FaultModel{CommFailProb: 0.3, StragglerFactor: 1.5, Seed: 9}
+	c1, _ := NewCluster(m, 1, a)
+	rec := NewRecordingTracker(c1)
+	chargeSequence(rec)
+	if rec.Counts.RetriedMessages == 0 {
+		t.Fatal("test needs retries to be meaningful")
+	}
+	// Same cluster: bit-identical.
+	if got := rec.ReplayOn(c1); got != rec.Time {
+		t.Fatalf("replay on own cluster = %v, direct = %v", got, rec.Time)
+	}
+	// Different cluster: the same retries are re-priced, matching a direct
+	// charge there only up to the retry draws — so compare against replaying
+	// the clean part plus the recorded retries by direct construction: a
+	// larger cluster with the same fault timing must cost strictly more per
+	// collective, hence more in total.
+	c8, err := NewCluster(m, 8, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.ReplayOn(c8); got <= 0 {
+		t.Fatalf("replay on larger cluster = %v", got)
+	}
+}
+
+func TestRetryCostGrowsExponentially(t *testing.T) {
+	a := sparse.Poisson1D(32)
+	m := testMachine()
+	c, _ := NewCluster(m, 1, a)
+	timeout, backoff := m.Faults.timing(m.NetLatency)
+	if timeout != 50*m.NetLatency || backoff != 10*m.NetLatency {
+		t.Fatalf("default timing = (%v, %v)", timeout, backoff)
+	}
+	prev := 0.0
+	for r := 1; r <= 5; r++ {
+		cost := retryCost(c, r)
+		want := prev + timeout + backoff*math.Pow(2, float64(r-1))
+		if math.Abs(cost-want) > 1e-18 {
+			t.Fatalf("retryCost(%d) = %v, want %v", r, cost, want)
+		}
+		prev = cost
+	}
+	if retryCost(c, 0) != 0 {
+		t.Fatal("zero retries should cost nothing")
+	}
+}
+
+func TestTrackerStringReportsAllCounts(t *testing.T) {
+	a := sparse.Poisson2D(16, 16)
+	c, _ := NewCluster(testMachine(), 1, a)
+	tr := NewTracker(c)
+	tr.SpMV()
+	tr.ReduceLocal(100, 800)
+	tr.Allreduce(1)
+	tr.AllreduceOverlappedBySpMVPrec(2, 100)
+	s := tr.String()
+	for _, want := range []string{"reduceflops=", "overlapped", "retried="} {
+		if !contains(s, want) {
+			t.Fatalf("String %q missing %q", s, want)
+		}
+	}
+	if tr.Counts.OverlappedAllreduces != 1 {
+		t.Fatalf("OverlappedAllreduces = %d", tr.Counts.OverlappedAllreduces)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

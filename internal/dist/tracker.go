@@ -12,6 +12,12 @@ type Counts struct {
 	HaloExchanges  int
 	LocalFlops     float64 // global FLOPs of local vector/matrix work
 	LocalReduceOps float64 // global FLOPs spent producing reduction operands
+	// OverlappedAllreduces counts the Allreduces charged as non-blocking
+	// collectives hidden behind local work (pipelined PCG's pattern).
+	OverlappedAllreduces int
+	// RetriedMessages counts communication retries charged by the fault
+	// model (0 unless Machine.Faults enables communication failures).
+	RetriedMessages int
 }
 
 // eventKind tags recorded events for replay.
@@ -29,10 +35,11 @@ const (
 
 // event is one recorded cost-model event.
 type event struct {
-	kind   eventKind
-	flops  float64 // evPrec: global flops; evVector/evReduceLocal: global flops
-	bytes  float64 // evVector/evReduceLocal: global bytes
-	values int     // evAllreduce: payload; evPrec: halo count
+	kind    eventKind
+	flops   float64 // evPrec: global flops; evVector/evReduceLocal: global flops
+	bytes   float64 // evVector/evReduceLocal: global bytes
+	values  int     // evAllreduce: payload; evPrec: halo count
+	retries int     // fault-model retries drawn when the event was charged
 }
 
 // Tracker charges solver events against a Cluster's cost model and
@@ -50,14 +57,26 @@ type Tracker struct {
 
 	record bool
 	events []event
+	// rng drives the fault model's retry draws (nil when disabled). Retry
+	// counts are recorded per event, so replay re-prices — not re-draws —
+	// them.
+	rng *faultRNG
 }
 
 // NewTracker returns a Tracker bound to c.
-func NewTracker(c *Cluster) *Tracker { return &Tracker{C: c} }
+func NewTracker(c *Cluster) *Tracker {
+	t := &Tracker{C: c}
+	t.initFaults()
+	return t
+}
 
 // NewRecordingTracker returns a Tracker that additionally records events
 // for later ReplayOn.
-func NewRecordingTracker(c *Cluster) *Tracker { return &Tracker{C: c, record: true} }
+func NewRecordingTracker(c *Cluster) *Tracker {
+	t := &Tracker{C: c, record: true}
+	t.initFaults()
+	return t
+}
 
 // ReplayOn recomputes the total modeled time of the recorded event stream
 // on another cluster. Panics if the tracker was not recording.
@@ -65,11 +84,14 @@ func (t *Tracker) ReplayOn(c *Cluster) float64 {
 	if !t.record {
 		panic("dist: ReplayOn requires a recording tracker")
 	}
+	// Each event contributes exactly one addition built from the same
+	// expression shape the charging methods use, so replaying on the same
+	// cluster reproduces Time bit-for-bit.
 	var total float64
 	for _, e := range t.events {
 		switch e.kind {
 		case evSpMV:
-			total += c.Roofline(2*float64(c.MaxNNZ), 12*float64(c.MaxNNZ)+16*float64(c.MaxRows)) + c.HaloTime()
+			total += c.Roofline(2*float64(c.MaxNNZ), 12*float64(c.MaxNNZ)+16*float64(c.MaxRows)) + c.HaloTime() + retryCost(c, e.retries)
 		case evPrec:
 			share := c.MaxNNZShare()
 			total += c.Roofline(e.flops*share, 1.5*e.flops*share) + float64(e.values)*c.HaloTime()
@@ -77,11 +99,11 @@ func (t *Tracker) ReplayOn(c *Cluster) float64 {
 			share := c.MaxRowShare()
 			total += c.Roofline(e.flops*share, e.bytes*share)
 		case evAllreduce:
-			total += c.AllreduceTime(e.values)
+			total += c.AllreduceTime(e.values) + retryCost(c, e.retries)
 		case evAllreduceOverlap:
-			total += exposedAllreduce(c, e.values, e.flops)
+			total += exposedAllreduce(c, e.values, e.flops) + retryCost(c, e.retries)
 		case evHalo:
-			total += c.HaloTime()
+			total += c.HaloTime() + retryCost(c, e.retries)
 		}
 	}
 	return total
@@ -100,9 +122,10 @@ func (t *Tracker) SpMV() {
 	c := t.C
 	flops := 2 * float64(c.MaxNNZ)
 	bytes := 12*float64(c.MaxNNZ) + 16*float64(c.MaxRows)
-	t.Time += c.Roofline(flops, bytes) + c.HaloTime()
+	retries := t.drawRetries() // the halo exchange can drop messages
+	t.Time += c.Roofline(flops, bytes) + c.HaloTime() + retryCost(c, retries)
 	if t.record {
-		t.events = append(t.events, event{kind: evSpMV})
+		t.events = append(t.events, event{kind: evSpMV, retries: retries})
 	}
 }
 
@@ -161,9 +184,10 @@ func (t *Tracker) Allreduce(values int) {
 	}
 	t.Counts.Allreduces++
 	t.Counts.AllreduceVals += values
-	t.Time += t.C.AllreduceTime(values)
+	retries := t.drawRetries()
+	t.Time += t.C.AllreduceTime(values) + retryCost(t.C, retries)
 	if t.record {
-		t.events = append(t.events, event{kind: evAllreduce, values: values})
+		t.events = append(t.events, event{kind: evAllreduce, values: values, retries: retries})
 	}
 }
 
@@ -173,20 +197,22 @@ func (t *Tracker) Halo() {
 		return
 	}
 	t.Counts.HaloExchanges++
-	t.Time += t.C.HaloTime()
+	retries := t.drawRetries()
+	t.Time += t.C.HaloTime() + retryCost(t.C, retries)
 	if t.record {
-		t.events = append(t.events, event{kind: evHalo})
+		t.events = append(t.events, event{kind: evHalo, retries: retries})
 	}
 }
 
-// String summarizes the tracked run.
+// String summarizes the tracked run, reporting every Counts field.
 func (t *Tracker) String() string {
 	if t == nil {
 		return "dist.Tracker(nil)"
 	}
-	return fmt.Sprintf("time=%.6fs spmv=%d prec=%d allreduce=%d(%d vals) halo=%d flops=%.3g",
+	return fmt.Sprintf("time=%.6fs spmv=%d prec=%d allreduce=%d(%d vals, %d overlapped) halo=%d flops=%.3g reduceflops=%.3g retried=%d",
 		t.Time, t.Counts.SpMVs, t.Counts.PrecApplies, t.Counts.Allreduces,
-		t.Counts.AllreduceVals, t.Counts.HaloExchanges, t.Counts.LocalFlops)
+		t.Counts.AllreduceVals, t.Counts.OverlappedAllreduces, t.Counts.HaloExchanges,
+		t.Counts.LocalFlops, t.Counts.LocalReduceOps, t.Counts.RetriedMessages)
 }
 
 // AllreduceOverlappedBySpMVPrec charges a non-blocking allreduce whose
@@ -203,9 +229,11 @@ func (t *Tracker) AllreduceOverlappedBySpMVPrec(values int, precFlops float64) {
 	}
 	t.Counts.Allreduces++
 	t.Counts.AllreduceVals += values
-	t.Time += exposedAllreduce(t.C, values, precFlops)
+	t.Counts.OverlappedAllreduces++
+	retries := t.drawRetries() // a failed non-blocking collective is re-posted
+	t.Time += exposedAllreduce(t.C, values, precFlops) + retryCost(t.C, retries)
 	if t.record {
-		t.events = append(t.events, event{kind: evAllreduceOverlap, values: values, flops: precFlops})
+		t.events = append(t.events, event{kind: evAllreduceOverlap, values: values, flops: precFlops, retries: retries})
 	}
 }
 

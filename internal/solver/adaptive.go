@@ -80,9 +80,15 @@ func accumulate(total, phase *Stats) {
 	total.PrecApplies += phase.PrecApplies
 	total.Allreduces += phase.Allreduces
 	total.AllreduceValues += phase.AllreduceValues
-	total.SimTime += phase.SimTime
+	// SimTime and RetriedMessages are cumulative snapshots of the single
+	// tracker shared by all phases, so the latest phase already contains the
+	// whole cascade.
+	total.SimTime = phase.SimTime
+	total.RetriedMessages = phase.RetriedMessages
 	total.ResidualReplacements += phase.ResidualReplacements
 	total.Restarts += phase.Restarts
+	total.DetectedFaults += phase.DetectedFaults
+	total.Rollbacks += phase.Rollbacks
 	total.History = append(total.History, phase.History...)
 	if phase.Breakdown != nil {
 		total.Breakdown = phase.Breakdown

@@ -108,3 +108,106 @@ func TestAdaptiveStatsAggregate(t *testing.T) {
 		t.Fatal("FinalRelative not set")
 	}
 }
+
+// degenerateNewtonParams builds a valid-but-hopeless basis: shifts far above
+// the spectrum make every new column a near-multiple of the previous one, so
+// the s-step Gram system is singular for any s ≥ 2 and the phase breaks down
+// immediately. The cascade then has no choice but to halve to s = 1.
+func degenerateNewtonParams(s int) *basis.Params {
+	theta := make([]float64, s)
+	for i := range theta {
+		theta[i] = 1e12
+	}
+	return &basis.Params{
+		Type:  basis.Newton,
+		Theta: theta,
+		Gamma: onesSlice(s),
+		Mu:    make([]float64, s-1),
+	}
+}
+
+func onesSlice(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+func TestAdaptiveHalvesAllTheWayToPCG(t *testing.T) {
+	// With a basis that breaks down at every s ≥ 2, the cascade must halve
+	// 4 → 2 → 1 and the final plain-PCG phase must deliver the solution.
+	a := sparse.Poisson2D(16, 16)
+	b, xTrue := testProblem(a)
+	m, _ := precond.NewJacobi(a)
+	x, st, err := SPCGAdaptive(a, m, b, Options{
+		S: 4, BasisParams: degenerateNewtonParams(4), Tol: 1e-9,
+		Criterion: RecursiveResidualMNorm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatalf("cascade did not converge: %+v", st.Breakdown)
+	}
+	if st.Restarts != 2 {
+		t.Fatalf("Restarts = %d, want exactly 2 (4→2→1)", st.Restarts)
+	}
+	if e := solutionError(x, xTrue); e > 1e-6 {
+		t.Fatalf("solution error %v", e)
+	}
+}
+
+func TestAdaptiveBudgetExhaustionMidCascade(t *testing.T) {
+	// The budget runs out after the cascade has already restarted: the
+	// terminal PCG phase gets exactly the remaining budget, and the aggregate
+	// iteration accounting must reflect it precisely.
+	a := sparse.Poisson2D(16, 16)
+	b, _ := testProblem(a)
+	m, _ := precond.NewJacobi(a)
+	budget := 25
+	_, st, err := SPCGAdaptive(a, m, b, Options{
+		S: 4, BasisParams: degenerateNewtonParams(4), Tol: 1e-14,
+		MaxIterations: budget, Criterion: RecursiveResidualMNorm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Converged {
+		t.Fatal("should not reach 1e-14 in 25 iterations")
+	}
+	if st.Restarts != 2 {
+		t.Fatalf("Restarts = %d, want 2", st.Restarts)
+	}
+	// Both s ≥ 2 phases break down before completing a block, so the PCG
+	// phase receives and consumes the entire budget.
+	if st.Iterations != budget {
+		t.Fatalf("Iterations = %d, want the exact budget %d", st.Iterations, budget)
+	}
+}
+
+func TestAdaptiveIterationAccountingAcrossPhases(t *testing.T) {
+	// When phases do perform work before the cascade steps down, the
+	// aggregate counts must equal the sum over phases and stay within one
+	// block of the budget.
+	a := sparse.Anisotropic2D(30, 30, 1e-4)
+	b, _ := testProblem(a)
+	s := 8
+	budget := 60
+	_, st, err := SPCGAdaptive(a, nil, b, Options{
+		S: s, Basis: basis.Monomial, Tol: 1e-13,
+		MaxIterations: budget, Criterion: RecursiveResidualMNorm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iterations > budget+s {
+		t.Fatalf("Iterations = %d exceed budget %d by more than one block", st.Iterations, budget)
+	}
+	if st.OuterIterations > st.Iterations {
+		t.Fatalf("OuterIterations %d > Iterations %d", st.OuterIterations, st.Iterations)
+	}
+	if st.MVProducts < st.Iterations {
+		t.Fatalf("MVProducts %d < Iterations %d: phases not aggregated", st.MVProducts, st.Iterations)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"spcg/internal/dist"
+	"spcg/internal/fault"
 	"spcg/internal/precond"
 	"spcg/internal/sparse"
 	"spcg/internal/vec"
@@ -17,6 +18,7 @@ type ctx struct {
 	a       *sparse.CSR
 	m       precond.Interface
 	tr      *dist.Tracker
+	inj     *fault.Injector // nil-safe: corrupts SpMV outputs when configured
 	n       int
 	stats   *Stats
 	f32Gram bool
@@ -33,12 +35,15 @@ func newCtx(a *sparse.CSR, m precond.Interface, opts *Options, stats *Stats) (*c
 	if m.Dim() != n {
 		return nil, fmt.Errorf("%w: matrix n=%d, preconditioner n=%d", ErrDimension, n, m.Dim())
 	}
-	return &ctx{a: a, m: m, tr: opts.Tracker, n: n, stats: stats, f32Gram: opts.Float32Gram}, nil
+	return &ctx{a: a, m: m, tr: opts.Tracker, inj: opts.Injector, n: n, stats: stats, f32Gram: opts.Float32Gram}, nil
 }
 
-// spmv computes dst = A·src, charging one distributed SpMV.
+// spmv computes dst = A·src, charging one distributed SpMV. An installed
+// fault injector may silently corrupt the output — the soft-error model the
+// detection/recovery machinery defends against.
 func (c *ctx) spmv(dst, src []float64) {
 	c.a.MulVecPar(dst, src)
+	c.inj.CorruptSpMV(dst)
 	c.tr.SpMV()
 	c.stats.MVProducts++
 }

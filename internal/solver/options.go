@@ -16,6 +16,7 @@ import (
 	"spcg/internal/basis"
 	"spcg/internal/dist"
 	"spcg/internal/eig"
+	"spcg/internal/fault"
 )
 
 // Criterion selects the convergence test, matching the three used in the
@@ -92,6 +93,27 @@ type Options struct {
 	// for a ~1e-7 relative floor on the Scalar Work inputs; useful as an
 	// ablation of precision sensitivity.
 	Float32Gram bool
+	// Injector, when non-nil, injects seeded soft errors into the solver's
+	// SpMV outputs and residual updates (see internal/fault). Strictly
+	// opt-in: a nil Injector leaves every iterate bit-identical to a run
+	// without fault support.
+	Injector *fault.Injector
+	// DetectEvery enables corruption detection every k iterations (PCG) or
+	// every k outer iterations (s-step methods): the recursive residual is
+	// compared against an explicitly recomputed true residual, the
+	// residual-replacement-style divergence test. 0 disables detection.
+	DetectEvery int
+	// CheckpointEvery sets the checkpoint cadence in the same units as
+	// DetectEvery (default: DetectEvery). Checkpoints snapshot the solver
+	// state only after a detection probe has passed, so a rollback never
+	// restores corrupted state.
+	CheckpointEvery int
+	// DetectTol is the detection threshold: ‖(b−Ax) − r‖₂ > DetectTol·‖b‖₂
+	// flags corruption (default 1e−8, ≈√ε above the drift of a healthy run).
+	DetectTol float64
+	// MaxRollbacks caps checkpoint restorations per run (default 100); the
+	// cap exhausting is reported as a breakdown.
+	MaxRollbacks int
 }
 
 func (o Options) withDefaults() Options {
@@ -141,6 +163,15 @@ type Stats struct {
 	// (the search-direction history is dropped when the convergence
 	// criterion bounces well above its best value; see SPCG).
 	Restarts int
+	// DetectedFaults counts detection probes that flagged a corrupted state
+	// (Options.DetectEvery > 0).
+	DetectedFaults int
+	// Rollbacks counts checkpoint restorations performed after detected
+	// faults or numerical breakdowns.
+	Rollbacks int
+	// RetriedMessages mirrors the tracker's fault-model communication
+	// retries (0 when untracked or the machine has no fault model).
+	RetriedMessages int
 }
 
 // ErrBreakdown wraps numerical breakdowns (singular Gram systems,

@@ -61,17 +61,29 @@ func PCG(a *sparse.CSR, m precond.Interface, b []float64, opts Options) ([]float
 		stats.Converged = true
 		return finishRun(c, a, b, x, opts, stats), stats, nil
 	}
+	// Fault detection/recovery (opt-in): verified initial state is the first
+	// checkpoint, so a rollback is always possible.
+	g := newGuard(c, opts, b)
+	if g != nil {
+		g.checkpoint(x, r, p, rho)
+	}
 
 	for i := 0; i < opts.MaxIterations; i++ {
 		c.spmv(s, p)
 		den := c.dot(p, s) // global reduction 1
 		if !finite(den) || den <= 0 {
+			// A corrupted iterate can masquerade as a breakdown; with
+			// recovery enabled, roll back and resume before giving up.
+			if g.restore(x, r, p, &rho) {
+				continue
+			}
 			stats.Breakdown = fmt.Errorf("%w: pᵀAp = %v at iteration %d", ErrBreakdown, den, i)
 			break
 		}
 		alpha := rho / den
 		c.axpy(alpha, p, x)
 		c.axpy(-alpha, s, r)
+		c.inj.CorruptVector(r)
 		c.applyM(u, r)
 
 		// Global reduction 2: rᵀu (and ‖r‖² fused when the criterion needs it).
@@ -85,6 +97,9 @@ func PCG(a *sparse.CSR, m precond.Interface, b []float64, opts Options) ([]float
 			c.allreduce(1)
 		}
 		if !finite(rhoNew) || rhoNew < 0 {
+			if g.restore(x, r, p, &rho) {
+				continue
+			}
 			stats.Breakdown = fmt.Errorf("%w: rᵀM⁻¹r = %v at iteration %d", ErrBreakdown, rhoNew, i)
 			break
 		}
@@ -94,6 +109,16 @@ func PCG(a *sparse.CSR, m precond.Interface, b []float64, opts Options) ([]float
 
 		stats.Iterations = i + 1
 		stats.OuterIterations = i + 1
+		if g.due(i + 1) {
+			if g.corrupted(x, r, scratch) {
+				if !g.restore(x, r, p, &rho) {
+					stats.Breakdown = errRollbackBudget(g.maxRollbacks)
+					break
+				}
+				continue
+			}
+			g.checkpoint(x, r, p, rho)
+		}
 		var val float64
 		switch opts.Criterion {
 		case TrueResidual2Norm:
@@ -142,6 +167,7 @@ func finishRun(c *ctx, a *sparse.CSR, b, x []float64, opts Options, stats *Stats
 	}
 	if c.tr != nil {
 		stats.SimTime = c.tr.Time
+		stats.RetriedMessages = c.tr.Counts.RetriedMessages
 	}
 	return x
 }

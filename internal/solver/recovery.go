@@ -1,0 +1,152 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"spcg/internal/vec"
+)
+
+// guard implements the solvers' fault detection and recovery: a
+// residual-replacement-style divergence test (the recursive residual is
+// compared against an explicitly recomputed true residual b−Ax) combined
+// with periodic checkpoints of the solver state and rollback-and-restart
+// when corruption is detected. Checkpoints are taken only immediately after
+// a detection probe has passed, so a restore never resurrects corrupted
+// state. A nil *guard (detection disabled) is valid and does nothing.
+//
+// The detection cadence is Options.DetectEvery iterations for PCG and outer
+// iterations for the s-step methods — for the latter, the probe rides the
+// block boundary where the solver already touches r and x, mirroring where
+// residual replacement fires (paper §1's stabilization reference).
+type guard struct {
+	c     *ctx
+	b     []float64
+	every int // detection cadence (iterations or outer iterations)
+	ckGap int // checkpoints every ckGap passed probes' worth of steps
+	// tolAbs is the absolute divergence threshold DetectTol·‖b‖₂.
+	tolAbs       float64
+	maxRollbacks int
+
+	// Checkpointed state: x and r always; p and rho only for PCG.
+	ckX, ckR, ckP []float64
+	ckRho         float64
+	haveCk        bool
+	sinceCk       int // passed probes since the last checkpoint
+}
+
+// newGuard builds the detection/recovery state, or nil when detection is
+// disabled. Charged: one fused dot for ‖b‖ (the threshold reference).
+func newGuard(c *ctx, opts Options, b []float64) *guard {
+	if opts.DetectEvery <= 0 {
+		return nil
+	}
+	tol := opts.DetectTol
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	ckEvery := opts.CheckpointEvery
+	if ckEvery <= 0 {
+		ckEvery = opts.DetectEvery
+	}
+	// Checkpoint cadence in units of detection probes, rounded up so a
+	// coarser-than-detection checkpoint interval still checkpoints.
+	ckGap := (ckEvery + opts.DetectEvery - 1) / opts.DetectEvery
+	maxRb := opts.MaxRollbacks
+	if maxRb <= 0 {
+		maxRb = 100
+	}
+	normB := math.Sqrt(c.dot(b, b))
+	if normB == 0 {
+		normB = 1 // b = 0: fall back to an absolute threshold
+	}
+	return &guard{
+		c: c, b: b, every: opts.DetectEvery, ckGap: ckGap,
+		tolAbs: tol * normB, maxRollbacks: maxRb,
+		ckX: make([]float64, c.n), ckR: make([]float64, c.n),
+	}
+}
+
+// due reports whether a detection probe runs after `step` completed steps.
+func (g *guard) due(step int) bool {
+	return g != nil && step%g.every == 0
+}
+
+// corrupted runs one detection probe: recompute the true residual into
+// scratch and flag divergence from the recursive residual r beyond the
+// threshold. Charged: one SpMV, two vector ops' worth of traffic, one
+// reduction. The probe itself runs through the injected SpMV path — a
+// corrupted probe triggers a (conservative) rollback like any other fault.
+func (g *guard) corrupted(x, r, scratch []float64) bool {
+	c := g.c
+	c.spmv(scratch, x)
+	vec.Sub(scratch, g.b, scratch)
+	c.tr.VectorOp(float64(c.n), 24*float64(c.n))
+	var diff float64
+	for i := range scratch {
+		d := scratch[i] - r[i]
+		diff += d * d
+	}
+	c.tr.ReduceLocal(2*float64(c.n), 24*float64(c.n))
+	c.allreduce(1)
+	if math.Sqrt(diff) > g.tolAbs {
+		c.stats.DetectedFaults++
+		return true
+	}
+	return false
+}
+
+// checkpoint snapshots (x, r) — and, when p is non-nil, the PCG coupling
+// (p, rho) — if a checkpoint is due after a passed probe. The snapshot is a
+// local memory copy: it costs no communication, matching in-memory
+// checkpointing (the cost model charges only the streaming traffic).
+func (g *guard) checkpoint(x, r, p []float64, rho float64) {
+	g.sinceCk++
+	if g.haveCk && g.sinceCk < g.ckGap {
+		return
+	}
+	copy(g.ckX, x)
+	copy(g.ckR, r)
+	if p != nil {
+		if g.ckP == nil {
+			g.ckP = make([]float64, len(p))
+		}
+		copy(g.ckP, p)
+		g.ckRho = rho
+	}
+	streams := 2
+	if p != nil {
+		streams = 3
+	}
+	g.c.tr.VectorOp(0, float64(8*streams*g.c.n))
+	g.haveCk = true
+	g.sinceCk = 0
+}
+
+// restore rolls the solver back to the last checkpoint, returning false when
+// no checkpoint exists or the rollback budget is exhausted (the caller
+// reports a breakdown). p/rho are restored only if they were checkpointed.
+func (g *guard) restore(x, r, p []float64, rho *float64) bool {
+	if g == nil || !g.haveCk || g.c.stats.Rollbacks >= g.maxRollbacks {
+		return false
+	}
+	g.c.stats.Rollbacks++
+	copy(x, g.ckX)
+	copy(r, g.ckR)
+	if p != nil && g.ckP != nil {
+		copy(p, g.ckP)
+		*rho = g.ckRho
+	}
+	streams := 2
+	if p != nil {
+		streams = 3
+	}
+	g.c.tr.VectorOp(0, float64(8*streams*g.c.n))
+	g.sinceCk = 0
+	return true
+}
+
+// errRollbackBudget reports the recovery giving up.
+func errRollbackBudget(max int) error {
+	return fmt.Errorf("%w: rollback budget (%d) exhausted — persistent corruption", ErrBreakdown, max)
+}

@@ -1,0 +1,75 @@
+package solver
+
+import (
+	"testing"
+
+	"spcg/internal/basis"
+	"spcg/internal/dist"
+	"spcg/internal/precond"
+	"spcg/internal/sparse"
+)
+
+// TestReplayOnSameClusterReproducesTime is the replay property: for every
+// solver family, a recording tracker replayed on its own cluster must
+// reproduce the charged time bit-for-bit — the event stream carries the full
+// behavior, the cluster only prices it. Checked both fault-free and with a
+// fault-model machine (retries are recorded per event and re-priced, so the
+// property must survive them).
+func TestReplayOnSameClusterReproducesTime(t *testing.T) {
+	a := sparse.Poisson2D(16, 16)
+	b, _ := testProblem(a)
+	m, err := precond.NewJacobi(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	families := []struct {
+		name string
+		run  solverFunc
+	}{
+		{"pcg", PCG}, {"pcg3", PCG3}, {"pipelined", PipelinedPCG},
+		{"spcg", SPCG}, {"spcgmon", SPCGMon},
+		{"capcg", CAPCG}, {"capcg3", CAPCG3},
+		{"adaptive", SPCGAdaptive},
+	}
+	machines := []struct {
+		name string
+		m    dist.Machine
+	}{
+		{"fault-free", dist.DefaultMachine()},
+		{"faulty", func() dist.Machine {
+			mm := dist.DefaultMachine()
+			mm.Faults = dist.FaultModel{CommFailProb: 0.15, StragglerFactor: 1.3, Seed: 5}
+			return mm
+		}()},
+	}
+	for _, mc := range machines {
+		cl, err := dist.NewCluster(mc.m, 1, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, fam := range families {
+			tr := dist.NewRecordingTracker(cl)
+			opts := Options{
+				S: 4, Basis: basis.Chebyshev, Tol: 1e-8,
+				Criterion: RecursiveResidualMNorm, Tracker: tr,
+			}
+			_, stats, err := fam.run(a, m, b, opts)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", mc.name, fam.name, err)
+			}
+			if !stats.Converged {
+				t.Fatalf("%s/%s did not converge: %+v", mc.name, fam.name, stats.Breakdown)
+			}
+			if tr.Time <= 0 {
+				t.Fatalf("%s/%s charged no time", mc.name, fam.name)
+			}
+			if replayed := tr.ReplayOn(cl); replayed != tr.Time {
+				t.Fatalf("%s/%s: ReplayOn(same cluster) = %v, Tracker.Time = %v (diff %v)",
+					mc.name, fam.name, replayed, tr.Time, replayed-tr.Time)
+			}
+			if mc.name == "faulty" && tr.Counts.RetriedMessages == 0 {
+				t.Fatalf("%s/%s: fault machine drew no retries", mc.name, fam.name)
+			}
+		}
+	}
+}

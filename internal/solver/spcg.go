@@ -97,6 +97,24 @@ func runSStep(a *sparse.CSR, m precond.Interface, b []float64, opts Options, mom
 	haveHistory := false // P⁽ᵏ⁻¹⁾/AP⁽ᵏ⁻¹⁾ valid (false at k=0 and after restarts)
 	bestVal := math.Inf(1)
 
+	// Fault detection/recovery (opt-in). Only (x, r) need checkpointing: a
+	// rollback drops the search-direction history exactly like a regression
+	// restart, and the block loop rebuilds everything else from r.
+	g := newGuard(c, opts, b)
+	if g != nil {
+		g.checkpoint(x, r, nil, 0)
+	}
+	// recoverState rolls back to the last checkpoint and restarts the block
+	// sequence from it; false means recovery is off, unavailable or spent.
+	recoverState := func() bool {
+		if !g.restore(x, r, nil, nil) {
+			return false
+		}
+		haveHistory = false
+		bestVal = math.Inf(1)
+		return true
+	}
+
 	for k := 0; k <= maxOuter; k++ {
 		// u⁽ᵏ⁾ = M⁻¹r⁽ᵏ⁾ (needed for both the criterion and the MPK).
 		c.applyM(u, r)
@@ -104,6 +122,9 @@ func runSStep(a *sparse.CSR, m precond.Interface, b []float64, opts Options, mom
 		// Convergence check at the block boundary (every s steps, paper §5.2).
 		rho := c.localDot(r, u)
 		if !finite(rho) || rho < 0 {
+			if recoverState() {
+				continue
+			}
 			stats.Breakdown = fmt.Errorf("%w: rᵀM⁻¹r = %v at outer iteration %d", ErrBreakdown, rho, k)
 			break
 		}
@@ -126,6 +147,18 @@ func runSStep(a *sparse.CSR, m precond.Interface, b []float64, opts Options, mom
 		if k == maxOuter || k*s >= opts.MaxIterations {
 			break
 		}
+		// Detection probe at the block boundary (every DetectEvery outer
+		// iterations): corruption rolls back, a clean probe may checkpoint.
+		if k > 0 && g.due(k) {
+			if g.corrupted(x, r, scratch) {
+				if !recoverState() {
+					stats.Breakdown = errRollbackBudget(g.maxRollbacks)
+					break
+				}
+				continue
+			}
+			g.checkpoint(x, r, nil, 0)
+		}
 		// Regression restart: s-step methods can bounce back up after a
 		// deep dip when the block basis degenerates near the attainable-
 		// accuracy floor (see DESIGN.md). Dropping the search-direction
@@ -142,6 +175,9 @@ func runSStep(a *sparse.CSR, m precond.Interface, b []float64, opts Options, mom
 
 		// Basis generation: S⁽ᵏ⁾ spans K_{s+1}(AM⁻¹, r), U⁽ᵏ⁾ = M⁻¹S(:,0:s−1).
 		if err := mpk.Compute(mpkOp{c}, mpkPrec{c}, params, r, u, S, U); err != nil {
+			if recoverState() {
+				continue
+			}
 			stats.Breakdown = fmt.Errorf("%w: matrix powers kernel: %v", ErrBreakdown, err)
 			break
 		}
@@ -216,10 +252,16 @@ func runSStep(a *sparse.CSR, m precond.Interface, b []float64, opts Options, mom
 			rhs.Scale(-1)
 			f, ferr := dense.LUFactor(wPrev)
 			if ferr != nil {
+				if recoverState() {
+					continue
+				}
 				stats.Breakdown = fmt.Errorf("%w: W⁽ᵏ⁻¹⁾ singular at outer iteration %d: %v", ErrBreakdown, k, ferr)
 				break
 			}
 			if serr := f.SolveMat(rhs); serr != nil {
+				if recoverState() {
+					continue
+				}
 				stats.Breakdown = fmt.Errorf("%w: %v", ErrBreakdown, serr)
 				break
 			}
@@ -232,10 +274,16 @@ func runSStep(a *sparse.CSR, m precond.Interface, b []float64, opts Options, mom
 		// a⁽ᵏ⁾ from W⁽ᵏ⁾·a⁽ᵏ⁾ = m⁽ᵏ⁾.
 		aVec, aerr := dense.SolveSPD(w, mVec)
 		if aerr != nil {
+			if recoverState() {
+				continue
+			}
 			stats.Breakdown = fmt.Errorf("%w: W⁽ᵏ⁾ system at outer iteration %d: %v", ErrBreakdown, k, aerr)
 			break
 		}
 		if !finite(aVec...) {
+			if recoverState() {
+				continue
+			}
 			stats.Breakdown = fmt.Errorf("%w: non-finite a⁽ᵏ⁾ at outer iteration %d", ErrBreakdown, k)
 			break
 		}
@@ -253,6 +301,7 @@ func runSStep(a *sparse.CSR, m precond.Interface, b []float64, opts Options, mom
 		}
 		c.blockMulVecAdd(x, P, aVec)  // x += P·a
 		c.blockMulVecSub(r, AP, aVec) // r −= AP·a
+		c.inj.CorruptVector(r)
 
 		if opts.ResidualReplacement && shouldReplaceResidual(c, b, x, r, scratch) {
 			stats.ResidualReplacements++
@@ -263,6 +312,9 @@ func runSStep(a *sparse.CSR, m precond.Interface, b []float64, opts Options, mom
 		stats.OuterIterations = k + 1
 		stats.Iterations = (k + 1) * s
 		if !finite(r[0]) {
+			if recoverState() {
+				continue
+			}
 			stats.Breakdown = fmt.Errorf("%w: residual diverged at outer iteration %d", ErrBreakdown, k)
 			break
 		}

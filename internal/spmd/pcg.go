@@ -52,7 +52,7 @@ func PCGJacobi(a *sparse.CSR, b []float64, p int, tol float64, maxIters int) (*R
 	reduces := make([]int, p)
 
 	w := NewWorld(p)
-	w.Run(func(rk *Rank) {
+	runErr := w.RunE(func(rk *Rank) {
 		lm := locals[rk.ID]
 		nl := lm.NLocal()
 		invD := lm.DiagLocal()
@@ -109,6 +109,9 @@ func PCGJacobi(a *sparse.CSR, b []float64, p int, tol float64, maxIters int) (*R
 		}
 		copy(res.X[lm.Lo:lm.Hi], x) // disjoint slices: no post-Run race
 	})
+	if runErr != nil {
+		return nil, runErr
+	}
 
 	res.Iterations = iters[0]
 	res.Converged = conv[0]

@@ -59,7 +59,7 @@ func SPCGJacobi(a *sparse.CSR, b []float64, p, s int, params *basis.Params, tol 
 	errs := make([]error, p)
 
 	w := NewWorld(p)
-	w.Run(func(rk *Rank) {
+	runErr := w.RunE(func(rk *Rank) {
 		lm := locals[rk.ID]
 		nl := lm.NLocal()
 		invD := lm.DiagLocal()
@@ -196,6 +196,9 @@ func SPCGJacobi(a *sparse.CSR, b []float64, p, s int, params *basis.Params, tol 
 		}
 		copy(res.X[lm.Lo:lm.Hi], x)
 	})
+	if runErr != nil {
+		return nil, runErr
+	}
 
 	for r := 0; r < p; r++ {
 		if errs[r] != nil {

@@ -9,17 +9,55 @@
 // The runtime is deliberately faithful to MPI programming style: a rank can
 // only read values it owns or has received, reductions are collective, and
 // forgetting an exchange produces wrong results, not panics.
+//
+// Resilience: RunE recovers per-rank panics and surfaces them as an error on
+// the launching goroutine instead of crashing the binary — the first failure
+// poisons the world, waking every rank blocked in a barrier, collective or
+// Recv so the whole run unwinds cleanly. Transient message loss is injected
+// through an optional FaultHook and retried with a bounded budget, and
+// RecvTimeout turns protocol hangs into errors rather than deadlocks.
 package spmd
 
 import (
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
+// FaultHook injects transient communication faults into the runtime. A
+// fault.Injector satisfies it. All methods may be called concurrently.
+type FaultHook interface {
+	// DropSend reports whether the attempt-th transmission from rank `from`
+	// to rank `to` is lost in transit (the sender retries).
+	DropSend(from, to, attempt int) bool
+	// FailAllreduce reports whether rank's attempt-th participation in a
+	// collective fails transiently (the rank re-posts it).
+	FailAllreduce(rank, attempt int) bool
+}
+
+// errPoisoned unwinds ranks blocked on a world that another rank has failed;
+// RunE recognizes and swallows it, reporting only the root cause.
+var errPoisoned = errors.New("spmd: world poisoned by another rank's failure")
+
 // World coordinates P ranks. Create one per parallel region with NewWorld,
-// then Run a rank function on every rank.
+// then Run a rank function on every rank. The fault-tolerance fields may be
+// set between NewWorld and Run; their zero values reproduce the fault-free
+// behavior exactly.
 type World struct {
 	P int
+
+	// Fault, when non-nil, injects transient communication faults into Send
+	// and Allreduce; each injected failure costs one retry.
+	Fault FaultHook
+	// MaxRetries bounds the resend attempts per message before the runtime
+	// forces delivery anyway (transient-fault model; default 3).
+	MaxRetries int
+	// RecvTimeout, when positive, poisons the world if a Recv waits longer —
+	// turning protocol deadlocks (e.g. a crashed peer) into errors.
+	RecvTimeout time.Duration
 
 	barrier *barrier
 	// reduceBuf[r] holds rank r's contribution to the current allreduce.
@@ -28,6 +66,12 @@ type World struct {
 	// mailboxes[to][from] passes halo payloads; buffered so sends never
 	// block (each pair exchanges at most one message per round).
 	mailboxes [][]chan []float64
+
+	retried  atomic.Int64
+	poisonMu sync.Mutex
+	poisoned bool
+	err      error
+	done     chan struct{}
 }
 
 // NewWorld creates a world of p ranks.
@@ -35,7 +79,7 @@ func NewWorld(p int) *World {
 	if p < 1 {
 		panic(fmt.Sprintf("spmd: world size %d < 1", p))
 	}
-	w := &World{P: p, barrier: newBarrier(p), reduceBuf: make([][]float64, p)}
+	w := &World{P: p, barrier: newBarrier(p), reduceBuf: make([][]float64, p), done: make(chan struct{})}
 	w.mailboxes = make([][]chan []float64, p)
 	for to := 0; to < p; to++ {
 		w.mailboxes[to] = make([]chan []float64, p)
@@ -46,17 +90,70 @@ func NewWorld(p int) *World {
 	return w
 }
 
-// Run executes fn on every rank concurrently and waits for all to finish.
-func (w *World) Run(fn func(r *Rank)) {
+// poison records the first failure and wakes every blocked rank. Later
+// failures (usually secondary victims) are dropped.
+func (w *World) poison(err error) {
+	w.poisonMu.Lock()
+	if !w.poisoned {
+		w.poisoned = true
+		w.err = err
+		close(w.done)
+		w.barrier.abort()
+	}
+	w.poisonMu.Unlock()
+}
+
+// failure returns the recorded root-cause error, if any.
+func (w *World) failure() error {
+	w.poisonMu.Lock()
+	defer w.poisonMu.Unlock()
+	return w.err
+}
+
+// RetriedMessages returns the number of communication retries forced by the
+// fault hook so far.
+func (w *World) RetriedMessages() int { return int(w.retried.Load()) }
+
+// maxRetries returns the retry budget with its default applied.
+func (w *World) maxRetries() int {
+	if w.MaxRetries > 0 {
+		return w.MaxRetries
+	}
+	return 3
+}
+
+// RunE executes fn on every rank concurrently and waits for all to finish.
+// A rank panic does not crash the process: the world is poisoned, all other
+// ranks unwind, and the first panic is returned as an error (with the
+// panicking rank's stack). A poisoned world must not be reused.
+func (w *World) RunE(fn func(r *Rank)) error {
 	var wg sync.WaitGroup
 	for id := 0; id < w.P; id++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					if err, ok := rec.(error); ok && errors.Is(err, errPoisoned) {
+						return // secondary victim of another rank's failure
+					}
+					w.poison(fmt.Errorf("spmd: rank %d panicked: %v\n%s", id, rec, debug.Stack()))
+				}
+			}()
 			fn(&Rank{ID: id, W: w})
 		}(id)
 	}
 	wg.Wait()
+	return w.failure()
+}
+
+// Run executes fn on every rank concurrently and waits for all to finish,
+// panicking if any rank failed. It is the thin compatibility wrapper around
+// RunE for callers that treat rank failures as programming errors.
+func (w *World) Run(fn func(r *Rank)) {
+	if err := w.RunE(fn); err != nil {
+		panic(err)
+	}
 }
 
 // Rank is one SPMD process.
@@ -72,8 +169,21 @@ func (r *Rank) Barrier() { r.W.barrier.wait() }
 // global result on every rank. The summation is performed in rank order by
 // rank 0, so the result is deterministic and identical on all ranks.
 // All ranks must pass slices of the same length.
+//
+// With a FaultHook installed, each rank's participation may fail transiently
+// and is re-posted (bounded by MaxRetries); retries change only the retry
+// counter, never the reduced values, so SPMD control flow stays uniform.
 func (r *Rank) Allreduce(local []float64) []float64 {
 	w := r.W
+	if h := w.Fault; h != nil {
+		attempt := 0
+		for attempt < w.maxRetries() && h.FailAllreduce(r.ID, attempt) {
+			attempt++
+		}
+		if attempt > 0 {
+			w.retried.Add(int64(attempt))
+		}
+	}
 	w.reduceBuf[r.ID] = local
 	r.Barrier()
 	if r.ID == 0 {
@@ -96,23 +206,62 @@ func (r *Rank) Allreduce(local []float64) []float64 {
 }
 
 // Send delivers payload to rank `to` (non-blocking; one in-flight message
-// per (from,to) pair per communication round).
+// per (from,to) pair per communication round). With a FaultHook installed,
+// transmissions may be dropped and are retried (bounded by MaxRetries)
+// before the delivery finally goes through — the transient-fault model.
 func (r *Rank) Send(to int, payload []float64) {
-	r.W.mailboxes[to][r.ID] <- payload
+	w := r.W
+	if h := w.Fault; h != nil {
+		attempt := 0
+		for attempt < w.maxRetries() && h.DropSend(r.ID, to, attempt) {
+			attempt++
+		}
+		if attempt > 0 {
+			w.retried.Add(int64(attempt))
+		}
+	}
+	select {
+	case w.mailboxes[to][r.ID] <- payload:
+	case <-w.done:
+		panic(errPoisoned)
+	}
 }
 
-// Recv blocks until the message from rank `from` arrives.
+// Recv blocks until the message from rank `from` arrives, the world is
+// poisoned, or RecvTimeout expires (which itself poisons the world).
 func (r *Rank) Recv(from int) []float64 {
-	return <-r.W.mailboxes[r.ID][from]
+	w := r.W
+	if w.RecvTimeout > 0 {
+		timer := time.NewTimer(w.RecvTimeout)
+		defer timer.Stop()
+		select {
+		case p := <-w.mailboxes[r.ID][from]:
+			return p
+		case <-w.done:
+			panic(errPoisoned)
+		case <-timer.C:
+			w.poison(fmt.Errorf("spmd: rank %d: recv from rank %d timed out after %v", r.ID, from, w.RecvTimeout))
+			panic(errPoisoned)
+		}
+	}
+	select {
+	case p := <-w.mailboxes[r.ID][from]:
+		return p
+	case <-w.done:
+		panic(errPoisoned)
+	}
 }
 
-// barrier is a reusable sense-reversing barrier.
+// barrier is a reusable sense-reversing barrier that can be aborted: abort
+// wakes all waiters, and every current or future wait unwinds with
+// errPoisoned.
 type barrier struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	n     int
-	count int
-	phase int
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	count   int
+	phase   int
+	aborted bool
 }
 
 func newBarrier(n int) *barrier {
@@ -123,6 +272,10 @@ func newBarrier(n int) *barrier {
 
 func (b *barrier) wait() {
 	b.mu.Lock()
+	if b.aborted {
+		b.mu.Unlock()
+		panic(errPoisoned)
+	}
 	phase := b.phase
 	b.count++
 	if b.count == b.n {
@@ -130,9 +283,20 @@ func (b *barrier) wait() {
 		b.phase++
 		b.cond.Broadcast()
 	} else {
-		for b.phase == phase {
+		for b.phase == phase && !b.aborted {
 			b.cond.Wait()
 		}
+		if b.aborted {
+			b.mu.Unlock()
+			panic(errPoisoned)
+		}
 	}
+	b.mu.Unlock()
+}
+
+func (b *barrier) abort() {
+	b.mu.Lock()
+	b.aborted = true
+	b.cond.Broadcast()
 	b.mu.Unlock()
 }

@@ -29,6 +29,7 @@ import (
 	"spcg/internal/basis"
 	"spcg/internal/dist"
 	"spcg/internal/eig"
+	"spcg/internal/fault"
 	"spcg/internal/precond"
 	"spcg/internal/solver"
 	"spcg/internal/sparse"
@@ -156,6 +157,30 @@ var DistributedSPCG = spmd.SPCGJacobi
 
 // SPMDResult reports a distributed solve.
 type SPMDResult = spmd.Result
+
+// FaultInjector produces seeded, reproducible faults: silent data corruption
+// of SpMV outputs or state vectors, dropped point-to-point messages, and
+// failed collective attempts. Pass one in Options.Injector to attack a solver
+// run and set Options.DetectEvery to enable detection + rollback recovery.
+// A nil *FaultInjector injects nothing.
+type FaultInjector = fault.Injector
+
+// FaultConfig selects which faults a FaultInjector produces; the zero value
+// injects nothing.
+type FaultConfig = fault.Config
+
+// FaultCounts reports what an injector actually injected.
+type FaultCounts = fault.Counts
+
+// NewFaultInjector builds an injector whose whole fault stream is determined
+// by the seed.
+var NewFaultInjector = fault.New
+
+// FaultModel adds transient communication failures and stragglers to a
+// modeled Machine (Machine.Faults); retries are charged as timeout +
+// exponential backoff and reported in Stats.RetriedMessages. The zero value
+// is fault-free.
+type FaultModel = dist.FaultModel
 
 // PipelinedPCG is the communication-hiding pipelined CG of Ghysels &
 // Vanroose — the method class the paper defers comparing against; see

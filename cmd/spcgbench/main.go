@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -25,12 +26,24 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main's testable body: it parses args, dispatches the subcommand and
+// returns the process exit code (0 ok, 1 runtime failure, 2 usage error).
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
 	}
-	cmd := os.Args[1]
-	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	cmd := args[0]
+	if !knownCommands[cmd] {
+		fmt.Fprintf(stderr, "spcgbench: unknown subcommand %q\n", cmd)
+		usage(stderr)
+		return 2
+	}
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	scale := fs.Int("scale", 32, "divide paper matrix sizes by this factor (1 = full size)")
 	s := fs.Int("s", 10, "s-step block size")
 	nodes := fs.Int("nodes", 4, "virtual node count (table3)")
@@ -40,13 +53,17 @@ func main() {
 	only := fs.String("only", "", "comma-separated matrix names (table2; default all 40)")
 	ranksPerNode := fs.Int("ranks", 128, "ranks per virtual node")
 	maxIters := fs.Int("maxiters", 0, "iteration cap (default 12000, the paper's cutoff; scale it with -scale for faster sweeps)")
-	if err := fs.Parse(os.Args[2:]); err != nil {
-		os.Exit(2)
+	if err := fs.Parse(args[1:]); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "spcgbench %s: unexpected arguments: %v\n", cmd, fs.Args())
+		return 2
 	}
 
 	machine := dist.DefaultMachine()
 	machine.RanksPerNode = *ranksPerNode
-	cfg := experiments.Config{Scale: *scale, S: *s, Machine: machine, Progress: os.Stderr, MaxIterations: *maxIters}
+	cfg := experiments.Config{Scale: *scale, S: *s, Machine: machine, Progress: stderr, MaxIterations: *maxIters}
 
 	start := time.Now()
 	var err error
@@ -59,11 +76,11 @@ func main() {
 		var rows []experiments.Table1Row
 		rows, err = experiments.RunTable1(cfg, d)
 		if err == nil {
-			experiments.RenderTable1(os.Stdout, rows, cfg.S)
+			experiments.RenderTable1(stdout, rows, cfg.S)
 			if verr := experiments.ValidateTable1(rows, cfg.S); verr != nil {
-				fmt.Printf("validation: %v\n", verr)
+				fmt.Fprintf(stdout, "validation: %v\n", verr)
 			} else {
-				fmt.Println("validation: measured counts match the closed forms")
+				fmt.Fprintln(stdout, "validation: measured counts match the closed forms")
 			}
 		}
 	case "table2":
@@ -73,8 +90,8 @@ func main() {
 			for _, name := range strings.Split(*only, ",") {
 				p, ok := suite.ByName(strings.TrimSpace(name))
 				if !ok {
-					fmt.Fprintf(os.Stderr, "unknown matrix %q\n", name)
-					os.Exit(2)
+					fmt.Fprintf(stderr, "unknown matrix %q\n", name)
+					return 2
 				}
 				problems = append(problems, p)
 			}
@@ -82,13 +99,13 @@ func main() {
 		var rows []experiments.Table2Row
 		rows, err = experiments.RunTable2(cfg, problems)
 		if err == nil {
-			experiments.RenderTable2(os.Stdout, rows, cfg.S)
+			experiments.RenderTable2(stdout, rows, cfg.S)
 		}
 	case "table3":
 		var rows []experiments.Table3Row
 		rows, err = experiments.RunTable3(cfg, *nodes)
 		if err == nil {
-			experiments.RenderTable3(os.Stdout, rows)
+			experiments.RenderTable3(stdout, rows)
 		}
 	case "fig1":
 		d := *dim
@@ -99,15 +116,15 @@ func main() {
 		for _, tok := range strings.Split(*sValuesFlag, ",") {
 			v, perr := strconv.Atoi(strings.TrimSpace(tok))
 			if perr != nil || v < 1 {
-				fmt.Fprintf(os.Stderr, "bad -svalues entry %q\n", tok)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "bad -svalues entry %q\n", tok)
+				return 2
 			}
 			sValues = append(sValues, v)
 		}
 		var res *experiments.Fig1Result
 		res, err = experiments.RunFig1(cfg, d, *maxNodes, sValues)
 		if err == nil {
-			experiments.RenderFig1(os.Stdout, res)
+			experiments.RenderFig1(stdout, res)
 		}
 	case "pipeline":
 		d := *dim
@@ -117,38 +134,41 @@ func main() {
 		var res *experiments.PipelineResult
 		res, err = experiments.RunPipeline(cfg, d, *maxNodes)
 		if err == nil {
-			experiments.RenderPipeline(os.Stdout, res)
+			experiments.RenderPipeline(stdout, res)
 		}
 	case "predict":
 		var rows []experiments.PredictRow
 		rows, err = experiments.RunPredict(cfg, *dim, nil)
 		if err == nil {
-			experiments.RenderPredict(os.Stdout, rows, cfg.S)
+			experiments.RenderPredict(stdout, rows, cfg.S)
 		}
 	case "ablation":
 		var res *experiments.AblationResult
 		res, err = experiments.RunAblation(cfg)
 		if err == nil {
-			experiments.RenderAblation(os.Stdout, res)
+			experiments.RenderAblation(stdout, res)
 		}
 	case "faults":
 		var res *experiments.FaultsResult
 		res, err = experiments.RunFaults(cfg, *dim, nil, nil)
 		if err == nil {
-			experiments.RenderFaults(os.Stdout, res)
+			experiments.RenderFaults(stdout, res)
 		}
-	default:
-		usage()
-		os.Exit(2)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "spcgbench %s: %v\n", cmd, err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "spcgbench %s: %v\n", cmd, err)
+		return 1
 	}
-	fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", cmd, time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(stderr, "[%s completed in %v]\n", cmd, time.Since(start).Round(time.Millisecond))
+	return 0
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage: spcgbench <table1|table2|table3|fig1|ablation|predict|pipeline|faults> [flags]
+var knownCommands = map[string]bool{
+	"table1": true, "table2": true, "table3": true, "fig1": true,
+	"pipeline": true, "predict": true, "ablation": true, "faults": true,
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: spcgbench <table1|table2|table3|fig1|ablation|predict|pipeline|faults> [flags]
 Run "spcgbench <cmd> -h" for per-command flags.`)
 }

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunUnknownSubcommand(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"nosuchtable"}, &out, &errBuf); code != 2 {
+		t.Errorf("unknown subcommand: exit %d, want 2", code)
+	}
+	if !strings.Contains(errBuf.String(), `unknown subcommand "nosuchtable"`) {
+		t.Errorf("stderr should name the bad subcommand, got: %s", errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "usage:") {
+		t.Errorf("stderr should include usage, got: %s", errBuf.String())
+	}
+}
+
+func TestRunNoArgs(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run(nil, &out, &errBuf); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if !strings.Contains(errBuf.String(), "usage:") {
+		t.Errorf("stderr should include usage, got: %s", errBuf.String())
+	}
+}
+
+func TestRunRejectsPositionalArgs(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"table1", "-s", "4", "stray"}, &out, &errBuf); code != 2 {
+		t.Errorf("stray positional arg: exit %d, want 2", code)
+	}
+	if !strings.Contains(errBuf.String(), "unexpected arguments") {
+		t.Errorf("stderr should flag unexpected arguments, got: %s", errBuf.String())
+	}
+}
+
+func TestRunBadFlagValue(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"table2", "-only", "nosuchmatrix"}, &out, &errBuf); code != 2 {
+		t.Errorf("unknown matrix: exit %d, want 2", code)
+	}
+}
+
+func TestRunTable1Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table1 run in -short mode")
+	}
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"table1", "-s", "4", "-dim", "8"}, &out, &errBuf); code != 0 {
+		t.Fatalf("table1 smoke: exit %d, stderr: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "validation:") {
+		t.Errorf("table1 output missing validation line: %s", out.String())
+	}
+}

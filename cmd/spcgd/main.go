@@ -1,0 +1,76 @@
+// Command spcgd serves the solver stack over HTTP (see internal/service):
+//
+//	spcgd [-addr :8097] [-workers N] [-queue 64] [-batch-window 2ms]
+//	      [-batch-max 8] [-cache-size 32] [-scale 100] [-timeout 120s]
+//
+// Endpoints: POST /solve, GET /jobs/{id}, POST /jobs/{id}/cancel,
+// GET /matrices, GET /metrics, GET /healthz. SIGINT/SIGTERM drain the queue
+// before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"spcg/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8097", "listen address")
+	workers := flag.Int("workers", 0, "solver pool size (0 = NumCPU, max 8)")
+	queue := flag.Int("queue", 64, "max outstanding jobs before rejection")
+	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "coalescing window for same-matrix PCG requests")
+	batchMax := flag.Int("batch-max", 8, "flush a batch at this many requests (1 disables batching)")
+	cacheSize := flag.Int("cache-size", 32, "setup-cache entries (matrix × preconditioner)")
+	scale := flag.Int("scale", 100, "divide suite matrix sizes by this factor")
+	timeout := flag.Duration("timeout", 120*time.Second, "default per-job deadline")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for queued work at shutdown")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "spcgd: unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	srv := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		BatchWindow:    *batchWindow,
+		BatchMax:       *batchMax,
+		CacheSize:      *cacheSize,
+		Scale:          *scale,
+		DefaultTimeout: *timeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("spcgd listening on %s (workers=%d queue=%d batch-window=%v)",
+		*addr, *workers, *queue, *batchWindow)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("spcgd: %v: draining (up to %v)...", s, *drainTimeout)
+	case err := <-errCh:
+		log.Fatalf("spcgd: serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("spcgd: drain incomplete: %v", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("spcgd: http shutdown: %v", err)
+	}
+	log.Printf("spcgd: bye")
+}

@@ -1,0 +1,251 @@
+// Command spcgload drives a running spcgd with a concurrent solve burst and
+// reports exact client-side latency percentiles plus the server's /metrics
+// snapshot:
+//
+//	spcgload [-addr http://localhost:8097] [-n 100] [-c 8]
+//	         [-methods pcg,pcg3,spcg,capcg,capcg3]
+//	         [-matrices poisson2d:16,poisson2d:24] [-precond jacobi]
+//	         [-s 4] [-tol 0] [-timeout 60s] [-out BENCH_serve.json]
+//
+// The process exits non-zero if any request fails, so CI can use it as a
+// smoke test.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+type solveRequest struct {
+	Matrix  string  `json:"matrix"`
+	Method  string  `json:"method"`
+	Precond string  `json:"precond,omitempty"`
+	S       int     `json:"s,omitempty"`
+	Tol     float64 `json:"tol,omitempty"`
+	RHS     string  `json:"rhs,omitempty"`
+}
+
+type solveResult struct {
+	Converged  bool    `json:"converged"`
+	Iterations int     `json:"iterations"`
+	Batched    bool    `json:"batched"`
+	BatchSize  int     `json:"batch_size"`
+	SolveMS    float64 `json:"solve_ms"`
+	Error      string  `json:"error,omitempty"`
+}
+
+type jobStatus struct {
+	ID     string       `json:"id"`
+	State  string       `json:"state"`
+	Result *solveResult `json:"result"`
+}
+
+type sample struct {
+	method    string
+	latencyMS float64
+	ok        bool
+	batched   bool
+	err       string
+}
+
+// report is the BENCH_serve.json document.
+type report struct {
+	Addr        string             `json:"addr"`
+	Requests    int                `json:"requests"`
+	Concurrency int                `json:"concurrency"`
+	Successes   int                `json:"successes"`
+	Failures    int                `json:"failures"`
+	Batched     int                `json:"batched"`
+	WallS       float64            `json:"wall_s"`
+	Throughput  float64            `json:"throughput_rps"`
+	LatencyMS   map[string]float64 `json:"latency_ms"` // p50/p90/p95/p99/max/mean
+	PerMethod   map[string]int     `json:"per_method"`
+	Errors      []string           `json:"errors,omitempty"`
+	Server      json.RawMessage    `json:"server_metrics,omitempty"`
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8097", "spcgd base URL")
+	n := flag.Int("n", 100, "total requests")
+	c := flag.Int("c", 8, "concurrent clients")
+	methodsFlag := flag.String("methods", "pcg,pcg3,spcg,capcg,capcg3", "comma-separated methods to cycle")
+	matricesFlag := flag.String("matrices", "poisson2d:16,poisson2d:24", "comma-separated matrices to cycle")
+	precond := flag.String("precond", "jacobi", "preconditioner spec")
+	sVal := flag.Int("s", 4, "s-step block size")
+	tol := flag.Float64("tol", 0, "relative tolerance (0 = server default)")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-request client timeout")
+	out := flag.String("out", "", "write a JSON report to this file")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "spcgload: unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
+	methods := splitList(*methodsFlag)
+	matrices := splitList(*matricesFlag)
+	if len(methods) == 0 || len(matrices) == 0 || *n < 1 || *c < 1 {
+		fmt.Fprintln(os.Stderr, "spcgload: need non-empty -methods/-matrices and positive -n/-c")
+		os.Exit(2)
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	samples := make([]sample, *n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	start := time.Now()
+	for w := 0; w < *c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				req := solveRequest{
+					Matrix:  matrices[i%len(matrices)],
+					Method:  methods[i%len(methods)],
+					Precond: *precond,
+					S:       *sVal,
+					Tol:     *tol,
+				}
+				samples[i] = doSolve(client, *addr, req)
+			}
+		}()
+	}
+	for i := 0; i < *n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := summarize(samples, *addr, *n, *c, wall)
+	if body, err := fetchMetrics(client, *addr); err == nil {
+		rep.Server = body
+	} else {
+		fmt.Fprintf(os.Stderr, "spcgload: fetch /metrics: %v\n", err)
+	}
+
+	fmt.Printf("spcgload: %d/%d ok (%d batched) in %.2fs — %.1f req/s, p50 %.1fms p95 %.1fms p99 %.1fms\n",
+		rep.Successes, rep.Requests, rep.Batched, rep.WallS, rep.Throughput,
+		rep.LatencyMS["p50"], rep.LatencyMS["p95"], rep.LatencyMS["p99"])
+	for _, e := range rep.Errors {
+		fmt.Fprintf(os.Stderr, "spcgload: %s\n", e)
+	}
+	if *out != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*out, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spcgload: write %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		fmt.Printf("spcgload: report written to %s\n", *out)
+	}
+	if rep.Failures > 0 {
+		os.Exit(1)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, tok := range strings.Split(s, ",") {
+		if t := strings.TrimSpace(tok); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func doSolve(client *http.Client, addr string, req solveRequest) sample {
+	smp := sample{method: req.Method}
+	body, err := json.Marshal(req)
+	if err != nil {
+		smp.err = err.Error()
+		return smp
+	}
+	t0 := time.Now()
+	resp, err := client.Post(addr+"/solve", "application/json", bytes.NewReader(body))
+	smp.latencyMS = float64(time.Since(t0).Microseconds()) / 1000
+	if err != nil {
+		smp.err = err.Error()
+		return smp
+	}
+	defer resp.Body.Close()
+	var st jobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		smp.err = fmt.Sprintf("HTTP %d: %v", resp.StatusCode, err)
+		return smp
+	}
+	if resp.StatusCode != http.StatusOK || st.Result == nil || !st.Result.Converged {
+		msg := st.State
+		if st.Result != nil && st.Result.Error != "" {
+			msg = st.Result.Error
+		}
+		smp.err = fmt.Sprintf("%s on %s: HTTP %d, state %s (%s)", req.Method, req.Matrix, resp.StatusCode, st.State, msg)
+		return smp
+	}
+	smp.ok = true
+	smp.batched = st.Result.Batched && st.Result.BatchSize >= 2
+	return smp
+}
+
+func fetchMetrics(client *http.Client, addr string) (json.RawMessage, error) {
+	resp, err := client.Get(addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+func summarize(samples []sample, addr string, n, c int, wall time.Duration) *report {
+	rep := &report{
+		Addr:        addr,
+		Requests:    n,
+		Concurrency: c,
+		WallS:       wall.Seconds(),
+		LatencyMS:   map[string]float64{},
+		PerMethod:   map[string]int{},
+	}
+	var lats []float64
+	var sum float64
+	for _, s := range samples {
+		rep.PerMethod[s.method]++
+		if s.ok {
+			rep.Successes++
+		} else {
+			rep.Failures++
+			if len(rep.Errors) < 10 {
+				rep.Errors = append(rep.Errors, s.err)
+			}
+		}
+		if s.batched {
+			rep.Batched++
+		}
+		lats = append(lats, s.latencyMS)
+		sum += s.latencyMS
+	}
+	rep.Throughput = float64(n) / wall.Seconds()
+	sort.Float64s(lats)
+	pct := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)-1))
+		return lats[i]
+	}
+	rep.LatencyMS["mean"] = sum / float64(len(samples))
+	rep.LatencyMS["p50"] = pct(0.50)
+	rep.LatencyMS["p90"] = pct(0.90)
+	rep.LatencyMS["p95"] = pct(0.95)
+	rep.LatencyMS["p99"] = pct(0.99)
+	rep.LatencyMS["max"] = pct(1.0)
+	return rep
+}

@@ -15,7 +15,6 @@ type BlockJacobi struct {
 	n       int
 	bounds  []int
 	factors []*dense.Chol
-	scratch []float64
 	flops   float64
 }
 
@@ -29,7 +28,7 @@ func NewBlockJacobi(a *sparse.CSR, nblocks int) (*BlockJacobi, error) {
 		return nil, fmt.Errorf("precond: BlockJacobi needs ≥ 1 block, got %d", nblocks)
 	}
 	bounds := sparse.NNZBalancedRanges(a, nblocks)
-	p := &BlockJacobi{n: a.Dim(), bounds: bounds, scratch: make([]float64, 0, maxBlockDim)}
+	p := &BlockJacobi{n: a.Dim(), bounds: bounds}
 	for b := 0; b < nblocks; b++ {
 		lo, hi := bounds[b], bounds[b+1]
 		dim := hi - lo

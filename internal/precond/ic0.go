@@ -3,6 +3,7 @@ package precond
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"spcg/internal/sparse"
 )
@@ -15,8 +16,8 @@ type IC0 struct {
 	rowPtr []int // CSR of L (lower triangle incl. diagonal)
 	colIdx []int
 	val    []float64
-	diag   []int // position of the diagonal entry in each row of L
-	y      []float64
+	diag   []int     // position of the diagonal entry in each row of L
+	y      sync.Pool // per-caller forward-solve vector: Apply is concurrency-safe
 }
 
 // NewIC0 computes the IC(0) factorization. Returns an error if a pivot
@@ -25,7 +26,8 @@ type IC0 struct {
 func NewIC0(a *sparse.CSR) (*IC0, error) {
 	n := a.Dim()
 	// Extract the lower triangle (columns sorted, diagonal last per row).
-	p := &IC0{n: n, rowPtr: make([]int, n+1), diag: make([]int, n), y: make([]float64, n)}
+	p := &IC0{n: n, rowPtr: make([]int, n+1), diag: make([]int, n)}
+	p.y.New = func() any { return make([]float64, n) }
 	for i := 0; i < n; i++ {
 		hasDiag := false
 		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
@@ -86,7 +88,8 @@ func (p *IC0) Apply(dst, src []float64) {
 	if len(dst) != p.n || len(src) != p.n {
 		panic("precond: IC0 Apply dim mismatch")
 	}
-	y := p.y
+	y := p.y.Get().([]float64)
+	defer p.y.Put(y)
 	// Forward L·y = src.
 	for i := 0; i < p.n; i++ {
 		s := src[i]

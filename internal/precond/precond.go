@@ -5,12 +5,19 @@
 // Every preconditioner here is a fixed symmetric positive-definite linear
 // operator M⁻¹ (a requirement of PCG), and each reports its per-application
 // cost in FLOPs and halo exchanges so the virtual cluster can charge it.
+//
+// All preconditioners in this package are immutable after construction:
+// Apply never writes to receiver state (scratch space comes from a
+// sync.Pool), so a single instance may serve concurrent Apply calls from
+// many solver goroutines — the property the solve service's setup cache
+// relies on and TestConcurrentSolvesShareState enforces under -race.
 package precond
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"spcg/internal/sparse"
 	"spcg/internal/vec"
@@ -100,9 +107,13 @@ type Chebyshev struct {
 	a          *sparse.CSR
 	degree     int
 	theta, del float64
-	// scratch buffers to keep Apply allocation-free.
-	r, d, ad []float64
+	// scratch pools keep Apply allocation-free in steady state while
+	// remaining safe for concurrent callers.
+	scratch sync.Pool
 }
+
+// chebScratch is one caller's set of Apply work vectors.
+type chebScratch struct{ r, d, ad []float64 }
 
 // NewChebyshev builds a degree-d Chebyshev preconditioner for a on the
 // spectral interval [lambdaMin, lambdaMax].
@@ -114,15 +125,20 @@ func NewChebyshev(a *sparse.CSR, degree int, lambdaMin, lambdaMax float64) (*Che
 		return nil, fmt.Errorf("precond: Chebyshev needs 0 < λmin < λmax, got [%v, %v]", lambdaMin, lambdaMax)
 	}
 	n := a.Dim()
-	return &Chebyshev{
+	p := &Chebyshev{
 		a:      a,
 		degree: degree,
 		theta:  (lambdaMax + lambdaMin) / 2,
 		del:    (lambdaMax - lambdaMin) / 2,
-		r:      make([]float64, n),
-		d:      make([]float64, n),
-		ad:     make([]float64, n),
-	}, nil
+	}
+	p.scratch.New = func() any {
+		return &chebScratch{
+			r:  make([]float64, n),
+			d:  make([]float64, n),
+			ad: make([]float64, n),
+		}
+	}
+	return p, nil
 }
 
 // Apply runs the fixed-degree Chebyshev iteration (Saad, Iterative Methods,
@@ -132,20 +148,22 @@ func (p *Chebyshev) Apply(dst, src []float64) {
 	if len(dst) != n || len(src) != n {
 		panic("precond: Chebyshev Apply dim mismatch")
 	}
+	ws := p.scratch.Get().(*chebScratch)
+	defer p.scratch.Put(ws)
 	sigma1 := p.theta / p.del
 	rho := 1 / sigma1
 	// z⁰ = 0, r⁰ = src, d⁰ = r⁰/θ, z¹ = d⁰.
-	vec.Copy(p.r, src)
-	vec.ScaleInto(p.d, 1/p.theta, p.r)
-	vec.Copy(dst, p.d)
+	vec.Copy(ws.r, src)
+	vec.ScaleInto(ws.d, 1/p.theta, ws.r)
+	vec.Copy(dst, ws.d)
 	for k := 1; k < p.degree; k++ {
-		p.a.MulVec(p.ad, p.d)
-		vec.Axpy(-1, p.ad, p.r)
+		p.a.MulVec(ws.ad, ws.d)
+		vec.Axpy(-1, ws.ad, ws.r)
 		rhoPrev := rho
 		rho = 1 / (2*sigma1 - rhoPrev)
 		// d ← ρ·ρprev·d + (2ρ/δ)·r
-		vec.Axpby(2*rho/p.del, p.r, rho*rhoPrev, p.d)
-		vec.Axpy(1, p.d, dst)
+		vec.Axpby(2*rho/p.del, ws.r, rho*rhoPrev, ws.d)
+		vec.Axpy(1, ws.d, dst)
 	}
 }
 

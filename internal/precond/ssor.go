@@ -3,6 +3,7 @@ package precond
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"spcg/internal/sparse"
 )
@@ -17,7 +18,7 @@ type SSOR struct {
 	a       *sparse.CSR
 	omega   float64
 	invDiag []float64
-	scratch []float64
+	scratch sync.Pool // per-caller sweep vectors: Apply is concurrency-safe
 }
 
 // NewSSOR builds an SSOR preconditioner with relaxation factor omega.
@@ -33,7 +34,10 @@ func NewSSOR(a *sparse.CSR, omega float64) (*SSOR, error) {
 		}
 		inv[i] = 1 / v
 	}
-	return &SSOR{a: a, omega: omega, invDiag: inv, scratch: make([]float64, a.Dim())}, nil
+	p := &SSOR{a: a, omega: omega, invDiag: inv}
+	n := a.Dim()
+	p.scratch.New = func() any { return make([]float64, n) }
+	return p, nil
 }
 
 // Apply computes dst = M⁻¹·src by forward solve, diagonal scale, backward
@@ -44,7 +48,8 @@ func (p *SSOR) Apply(dst, src []float64) {
 		panic("precond: SSOR Apply dim mismatch")
 	}
 	w := p.omega
-	y := p.scratch
+	y := p.scratch.Get().([]float64)
+	defer p.scratch.Put(y)
 	// Forward: (D/ω + L)·y = src.
 	for i := 0; i < n; i++ {
 		s := src[i]

@@ -1,0 +1,208 @@
+package service
+
+import (
+	"container/list"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"spcg/internal/eig"
+	"spcg/internal/precond"
+	"spcg/internal/sparse"
+)
+
+// precondSpec is a parsed, canonicalized preconditioner request. The
+// canonical string doubles as the setup-cache key component, so "ssor" and
+// "ssor:1.0" share one cache entry.
+type precondSpec struct {
+	kind      string  // identity|jacobi|ssor|ic0|blockjacobi|chebyshev
+	omega     float64 // ssor
+	blocks    int     // blockjacobi
+	degree    int     // chebyshev
+	canonical string
+}
+
+// parsePrecond accepts "jacobi", "ssor:1.2", "blockjacobi:16",
+// "chebyshev:3", "ic0", "identity"/"none", and "" (defaults to jacobi).
+func parsePrecond(spec string) (precondSpec, error) {
+	name, arg := spec, ""
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		name, arg = spec[:i], spec[i+1:]
+	}
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "jacobi":
+		return precondSpec{kind: "jacobi", canonical: "jacobi"}, nil
+	case "identity", "none":
+		return precondSpec{kind: "identity", canonical: "identity"}, nil
+	case "ic0":
+		return precondSpec{kind: "ic0", canonical: "ic0"}, nil
+	case "ssor":
+		omega := 1.0
+		if arg != "" {
+			v, err := strconv.ParseFloat(arg, 64)
+			if err != nil || !(v > 0 && v < 2) {
+				return precondSpec{}, fmt.Errorf("bad ssor omega %q (need 0 < ω < 2)", arg)
+			}
+			omega = v
+		}
+		return precondSpec{kind: "ssor", omega: omega, canonical: fmt.Sprintf("ssor:%.4g", omega)}, nil
+	case "blockjacobi":
+		blocks := 16
+		if arg != "" {
+			v, err := strconv.Atoi(arg)
+			if err != nil || v < 1 {
+				return precondSpec{}, fmt.Errorf("bad blockjacobi block count %q", arg)
+			}
+			blocks = v
+		}
+		return precondSpec{kind: "blockjacobi", blocks: blocks, canonical: fmt.Sprintf("blockjacobi:%d", blocks)}, nil
+	case "chebyshev":
+		degree := 3
+		if arg != "" {
+			v, err := strconv.Atoi(arg)
+			if err != nil || v < 1 {
+				return precondSpec{}, fmt.Errorf("bad chebyshev degree %q", arg)
+			}
+			degree = v
+		}
+		return precondSpec{kind: "chebyshev", degree: degree, canonical: fmt.Sprintf("chebyshev:%d", degree)}, nil
+	default:
+		return precondSpec{}, fmt.Errorf("unknown preconditioner %q", spec)
+	}
+}
+
+// setupKey identifies the expensive per-matrix setup state: the matrix
+// content (by fingerprint) and the canonical preconditioner spec. The
+// spectral estimate of M⁻¹A is stored on the same entry because it depends
+// on exactly these two inputs.
+type setupKey struct {
+	fp   uint64
+	prec string
+}
+
+// setupEntry holds (lazily built) reusable solver setup for one key. The
+// entry-level mutex serializes construction so that concurrent first
+// requests build the preconditioner once; after construction the stored
+// values are immutable and shared freely (see the precond package's
+// concurrency contract).
+type setupEntry struct {
+	mu       sync.Mutex
+	prec     precond.Interface
+	precErr  error
+	spectrum *eig.Estimate
+	specErr  error
+}
+
+// preconditioner returns the entry's preconditioner, building it on first use.
+func (e *setupEntry) preconditioner(a *sparse.CSR, spec precondSpec) (precond.Interface, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.prec != nil || e.precErr != nil {
+		return e.prec, e.precErr
+	}
+	e.prec, e.precErr = buildPreconditioner(a, spec)
+	return e.prec, e.precErr
+}
+
+// spectrumFor returns the Ritz estimate of M⁻¹A for the entry's
+// preconditioner, computing it once (the paper's "a few iterations of
+// standard PCG" setup step, here amortized across all requests that hit the
+// entry).
+func (e *setupEntry) spectrumFor(a *sparse.CSR, spec precondSpec, s int) (*eig.Estimate, error) {
+	m, err := e.preconditioner(a, spec)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.spectrum != nil || e.specErr != nil {
+		return e.spectrum, e.specErr
+	}
+	iters := 2 * s
+	if iters < 20 {
+		iters = 20
+	}
+	var applyM func(dst, src []float64)
+	if m != nil {
+		applyM = m.Apply
+	}
+	e.spectrum, e.specErr = eig.RitzFromPCG(a, applyM, eig.Options{Iterations: iters})
+	return e.spectrum, e.specErr
+}
+
+func buildPreconditioner(a *sparse.CSR, spec precondSpec) (precond.Interface, error) {
+	switch spec.kind {
+	case "identity":
+		return precond.NewIdentity(a.Dim()), nil
+	case "jacobi":
+		return precond.NewJacobi(a)
+	case "ssor":
+		return precond.NewSSOR(a, spec.omega)
+	case "ic0":
+		return precond.NewIC0(a)
+	case "blockjacobi":
+		return precond.NewBlockJacobi(a, spec.blocks)
+	case "chebyshev":
+		// The polynomial preconditioner needs bounds on A's own spectrum.
+		est, err := eig.RitzFromPCG(a, nil, eig.Options{Iterations: 20})
+		if err != nil {
+			return nil, fmt.Errorf("chebyshev setup: %w", err)
+		}
+		return precond.NewChebyshev(a, spec.degree, est.LambdaMin, est.LambdaMax)
+	default:
+		return nil, fmt.Errorf("unknown preconditioner kind %q", spec.kind)
+	}
+}
+
+// setupCache is the LRU cache of setupEntries. A get that finds the key
+// counts as a hit even if the entry is still being built by another
+// goroutine — the expensive work is shared either way.
+type setupCache struct {
+	mu     sync.Mutex
+	max    int
+	ll     *list.List // front = most recently used; values are *cacheItem
+	items  map[setupKey]*list.Element
+	hits   int64
+	misses int64
+}
+
+type cacheItem struct {
+	key   setupKey
+	entry *setupEntry
+}
+
+func newSetupCache(max int) *setupCache {
+	if max < 1 {
+		max = 1
+	}
+	return &setupCache{max: max, ll: list.New(), items: map[setupKey]*list.Element{}}
+}
+
+// get returns the entry for key, creating (and possibly evicting) as needed.
+// The boolean reports whether this was a cache hit.
+func (c *setupCache) get(key setupKey) (*setupEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheItem).entry, true
+	}
+	c.misses++
+	entry := &setupEntry{}
+	el := c.ll.PushFront(&cacheItem{key: key, entry: entry})
+	c.items[key] = el
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheItem).key)
+	}
+	return entry, false
+}
+
+func (c *setupCache) stats() (hits, misses int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}

@@ -1,0 +1,117 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// Handler returns the service's HTTP mux:
+//
+//	POST /solve            — submit a solve; sync by default, async with
+//	                         "async": true (202 + job id)
+//	GET  /jobs/{id}        — poll a job
+//	POST /jobs/{id}/cancel — cooperative cancellation
+//	GET  /matrices         — registered matrix names
+//	GET  /metrics          — serving counters (JSON)
+//	GET  /healthz          — liveness; 503 while draining
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /solve", s.handleSolve)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleJobCancel)
+	mux.HandleFunc("GET /matrices", s.handleMatrices)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+	j, err := s.Submit(req)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+		case errors.Is(err, ErrShuttingDown):
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		default:
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		}
+		return
+	}
+	if req.Async {
+		writeJSON(w, http.StatusAccepted, j.status())
+		return
+	}
+	// Sync path: wait for the job, but stop waiting if the client goes away
+	// (the job itself keeps its own deadline).
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		writeJSON(w, http.StatusRequestTimeout, j.status())
+		return
+	}
+	st := j.status()
+	switch st.State {
+	case JobDone:
+		writeJSON(w, http.StatusOK, st)
+	case JobCancelled:
+		writeJSON(w, http.StatusGatewayTimeout, st)
+	default:
+		writeJSON(w, http.StatusInternalServerError, st)
+	}
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j := s.Job(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.Job(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job"})
+		return
+	}
+	j.cancel()
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleMatrices(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"matrices": s.Matrices()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,218 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"spcg/internal/solver"
+)
+
+// JobState is the lifecycle of one solve request.
+type JobState string
+
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// SolveRequest is the JSON body of POST /solve.
+type SolveRequest struct {
+	Matrix  string `json:"matrix"`            // registry name or generator spec
+	Method  string `json:"method"`            // pcg|pcg3|spcg|spcgmon|capcg|capcg3|adaptive|pipelined
+	Precond string `json:"precond,omitempty"` // jacobi (default), identity, ic0, ssor[:w], blockjacobi[:k], chebyshev[:d]
+	S       int    `json:"s,omitempty"`       // s-step block size for s-step methods
+	Basis   string `json:"basis,omitempty"`   // monomial|newton|chebyshev (s-step methods)
+
+	Tol       float64 `json:"tol,omitempty"`
+	MaxIters  int     `json:"max_iters,omitempty"`
+	RHS       string  `json:"rhs,omitempty"`        // "ones" (default), "random[:seed]", "sin"
+	TimeoutMS int     `json:"timeout_ms,omitempty"` // per-job deadline; 0 = server default
+	Async     bool    `json:"async,omitempty"`      // enqueue and return a job id immediately
+	NoBatch   bool    `json:"no_batch,omitempty"`   // opt out of same-matrix coalescing
+}
+
+// SolveResult is the terminal payload of a job.
+type SolveResult struct {
+	Converged       bool    `json:"converged"`
+	Iterations      int     `json:"iterations"`
+	FinalRelative   float64 `json:"final_relative"`
+	TrueRelResidual float64 `json:"true_rel_residual"`
+	MVProducts      int     `json:"mv_products"`
+	PrecApplies     int     `json:"prec_applies"`
+	Breakdown       string  `json:"breakdown,omitempty"`
+	Error           string  `json:"error,omitempty"`
+	Batched         bool    `json:"batched"`    // ran inside a coalesced block solve
+	BatchSize       int     `json:"batch_size"` // columns in that block (1 = solo)
+	SolveMS         float64 `json:"solve_ms"`
+	XNorm           float64 `json:"x_norm"`
+}
+
+// JobStatus is the JSON document served for one job.
+type JobStatus struct {
+	ID        string       `json:"id"`
+	State     JobState     `json:"state"`
+	Matrix    string       `json:"matrix"`
+	Method    string       `json:"method"`
+	Precond   string       `json:"precond"`
+	Submitted time.Time    `json:"submitted"`
+	Started   *time.Time   `json:"started,omitempty"`
+	Finished  *time.Time   `json:"finished,omitempty"`
+	Result    *SolveResult `json:"result,omitempty"`
+}
+
+// job is the internal representation of one admitted request.
+type job struct {
+	id  string
+	req SolveRequest
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{} // closed exactly once when the job reaches a terminal state
+
+	mu        sync.Mutex
+	state     JobState
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	result    *SolveResult
+}
+
+func (j *job) setRunning(now time.Time) {
+	j.mu.Lock()
+	if j.state == JobQueued {
+		j.state = JobRunning
+		j.started = now
+	}
+	j.mu.Unlock()
+}
+
+// finish moves the job to a terminal state. Only the first call wins; the
+// done channel is closed exactly once.
+func (j *job) finish(state JobState, res *SolveResult, now time.Time) bool {
+	j.mu.Lock()
+	if j.state == JobDone || j.state == JobFailed || j.state == JobCancelled {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = state
+	j.result = res
+	j.finished = now
+	j.mu.Unlock()
+	j.cancel() // release the context watcher; harmless if already cancelled
+	close(j.done)
+	return true
+}
+
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:        j.id,
+		State:     j.state,
+		Matrix:    j.req.Matrix,
+		Method:    j.req.Method,
+		Precond:   j.req.Precond,
+		Submitted: j.submitted,
+		Result:    j.result,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	return st
+}
+
+// jobStore indexes jobs by id and bounds memory by evicting the oldest
+// finished jobs beyond maxDone.
+type jobStore struct {
+	mu      sync.Mutex
+	seq     int64
+	jobs    map[string]*job
+	doneIDs []string // finished jobs in completion order, oldest first
+	maxDone int
+}
+
+func newJobStore(maxDone int) *jobStore {
+	if maxDone < 1 {
+		maxDone = 256
+	}
+	return &jobStore{jobs: map[string]*job{}, maxDone: maxDone}
+}
+
+func (s *jobStore) newJob(req SolveRequest, parent context.Context, timeout time.Duration) *job {
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(parent, timeout)
+	} else {
+		ctx, cancel = context.WithCancel(parent)
+	}
+	s.mu.Lock()
+	s.seq++
+	id := fmt.Sprintf("job-%d", s.seq)
+	j := &job{
+		id:        id,
+		req:       req,
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		state:     JobQueued,
+		submitted: time.Now(),
+	}
+	s.jobs[id] = j
+	s.mu.Unlock()
+	return j
+}
+
+func (s *jobStore) get(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// markDone records completion for eviction ordering and trims old entries.
+func (s *jobStore) markDone(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.doneIDs = append(s.doneIDs, id)
+	for len(s.doneIDs) > s.maxDone {
+		old := s.doneIDs[0]
+		s.doneIDs = s.doneIDs[1:]
+		delete(s.jobs, old)
+	}
+}
+
+// statsToResult converts solver output into the wire form shared by every
+// completion path.
+func statsToResult(stats *solver.Stats, err error, batched bool, batchSize int, elapsed time.Duration, xnorm float64) *SolveResult {
+	res := &SolveResult{
+		Batched:   batched,
+		BatchSize: batchSize,
+		SolveMS:   float64(elapsed.Microseconds()) / 1000,
+		XNorm:     xnorm,
+	}
+	if stats != nil {
+		res.Converged = stats.Converged
+		res.Iterations = stats.Iterations
+		res.FinalRelative = stats.FinalRelative
+		res.TrueRelResidual = stats.TrueRelResidual
+		res.MVProducts = stats.MVProducts
+		res.PrecApplies = stats.PrecApplies
+		if stats.Breakdown != nil {
+			res.Breakdown = stats.Breakdown.Error()
+		}
+	}
+	if err != nil {
+		res.Error = err.Error()
+	}
+	return res
+}

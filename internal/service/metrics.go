@@ -1,0 +1,209 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// histBounds are the latency bucket upper bounds in seconds. The quantile
+// estimate interpolates inside the winning bucket, which is accurate enough
+// for serving dashboards (the load generator computes exact percentiles from
+// its own samples).
+var histBounds = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// hist is a fixed-bucket latency histogram.
+type hist struct {
+	counts []int64 // len(histBounds)+1; last bucket is +Inf
+	count  int64
+	sum    float64
+	max    float64
+}
+
+func newHist() *hist { return &hist{counts: make([]int64, len(histBounds)+1)} }
+
+func (h *hist) observe(sec float64) {
+	i := sort.SearchFloat64s(histBounds, sec)
+	h.counts[i]++
+	h.count++
+	h.sum += sec
+	if sec > h.max {
+		h.max = sec
+	}
+}
+
+// quantile returns an estimate of the p-quantile (0 < p < 1) in seconds.
+func (h *hist) quantile(p float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := int64(p * float64(h.count))
+	if target >= h.count {
+		target = h.count - 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		if cum+c > target {
+			lo := 0.0
+			if i > 0 {
+				lo = histBounds[i-1]
+			}
+			hi := h.max
+			if i < len(histBounds) {
+				hi = histBounds[i]
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := 0.5
+			if c > 0 {
+				frac = (float64(target-cum) + 0.5) / float64(c)
+			}
+			return lo + frac*(hi-lo)
+		}
+		cum += c
+	}
+	return h.max
+}
+
+// metrics aggregates the serving counters exposed at /metrics. A single
+// mutex is enough: updates are a handful of integer ops per request.
+type metrics struct {
+	mu sync.Mutex
+
+	requests  int64 // accepted solve submissions
+	rejected  int64 // refused at admission (queue full / shutting down)
+	completed int64 // finished with status done
+	failed    int64
+	cancelled int64
+
+	inFlight   int64 // jobs currently executing
+	queuedJobs int64 // jobs admitted but not yet finished executing
+
+	batchedRequests  int64 // jobs that ran inside a coalesced block solve (size ≥ 2)
+	blockSolves      int64 // batch executions with ≥ 2 columns
+	soloSolves       int64
+	maxBatch         int64
+	iterationsTotal  int64
+	mvProductsTotal  int64
+	precAppliesTotal int64
+
+	latency map[string]*hist // per method
+}
+
+func newMetrics() *metrics { return &metrics{latency: map[string]*hist{}} }
+
+func (m *metrics) observe(method string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.latency[method]
+	if h == nil {
+		h = newHist()
+		m.latency[method] = h
+	}
+	h.observe(d.Seconds())
+}
+
+func (m *metrics) add(f func(*metrics)) {
+	m.mu.Lock()
+	f(m)
+	m.mu.Unlock()
+}
+
+// LatencySnapshot is the per-method latency summary in /metrics.
+type LatencySnapshot struct {
+	Count  int64   `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// MetricsSnapshot is the JSON document served at /metrics.
+type MetricsSnapshot struct {
+	UptimeS    float64 `json:"uptime_s"`
+	QueueDepth int64   `json:"queue_depth"`
+	InFlight   int64   `json:"in_flight"`
+
+	RequestsTotal int64 `json:"requests_total"`
+	Rejected      int64 `json:"rejected_total"`
+	Completed     int64 `json:"completed_total"`
+	Failed        int64 `json:"failed_total"`
+	Cancelled     int64 `json:"cancelled_total"`
+
+	SetupCache struct {
+		Hits    int64   `json:"hits"`
+		Misses  int64   `json:"misses"`
+		HitRate float64 `json:"hit_rate"`
+		Entries int     `json:"entries"`
+	} `json:"setup_cache"`
+
+	Batching struct {
+		BatchedRequests int64 `json:"batched_requests"`
+		BlockSolves     int64 `json:"block_solves"`
+		SoloSolves      int64 `json:"solo_solves"`
+		MaxBatch        int64 `json:"max_batch"`
+	} `json:"batching"`
+
+	Solver struct {
+		IterationsTotal  int64 `json:"iterations_total"`
+		MVProductsTotal  int64 `json:"mv_products_total"`
+		PrecAppliesTotal int64 `json:"prec_applies_total"`
+	} `json:"solver"`
+
+	Latency map[string]LatencySnapshot `json:"latency"`
+}
+
+func (m *metrics) snapshot(start time.Time, cache *setupCache) MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var s MetricsSnapshot
+	s.UptimeS = time.Since(start).Seconds()
+	s.QueueDepth = m.queuedJobs - m.inFlight
+	if s.QueueDepth < 0 {
+		s.QueueDepth = 0
+	}
+	s.InFlight = m.inFlight
+	s.RequestsTotal = m.requests
+	s.Rejected = m.rejected
+	s.Completed = m.completed
+	s.Failed = m.failed
+	s.Cancelled = m.cancelled
+	hits, misses, entries := cache.stats()
+	s.SetupCache.Hits = hits
+	s.SetupCache.Misses = misses
+	if hits+misses > 0 {
+		s.SetupCache.HitRate = float64(hits) / float64(hits+misses)
+	}
+	s.SetupCache.Entries = entries
+	s.Batching.BatchedRequests = m.batchedRequests
+	s.Batching.BlockSolves = m.blockSolves
+	s.Batching.SoloSolves = m.soloSolves
+	s.Batching.MaxBatch = m.maxBatch
+	s.Solver.IterationsTotal = m.iterationsTotal
+	s.Solver.MVProductsTotal = m.mvProductsTotal
+	s.Solver.PrecAppliesTotal = m.precAppliesTotal
+	s.Latency = map[string]LatencySnapshot{}
+	for method, h := range m.latency {
+		s.Latency[method] = LatencySnapshot{
+			Count:  h.count,
+			MeanMS: 1000 * h.sum / float64(max64(h.count, 1)),
+			P50MS:  1000 * h.quantile(0.50),
+			P95MS:  1000 * h.quantile(0.95),
+			P99MS:  1000 * h.quantile(0.99),
+			MaxMS:  1000 * h.max,
+		}
+	}
+	return s
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,197 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"spcg/internal/sparse"
+	"spcg/internal/suite"
+)
+
+// registry resolves matrix names to built CSR matrices. Two name families
+// are served:
+//
+//   - the 40 suite problems (by SuiteSparse name, e.g. "apache2"), built at
+//     1/Scale of the paper size on first request;
+//   - parametric generators: "poisson1d:N", "poisson2d:NX[:NY]",
+//     "poisson3d:NX[:NY:NZ]", "varcoeff2d:NX:CONTRAST[:SEED]",
+//     "varcoeff3d:NX:CONTRAST[:SEED]", "aniso2d:NX:EPS".
+//
+// Matrices are built once (per-entry sync.Once) and are immutable
+// afterwards, so every solve and every cache entry shares the same *CSR.
+type registry struct {
+	scale int
+	maxN  int
+	mu    sync.Mutex
+	byKey map[string]*matrixEntry
+}
+
+// matrixEntry is one lazily built matrix.
+type matrixEntry struct {
+	Name  string
+	build func() (*sparse.CSR, error)
+	once  sync.Once
+	a     *sparse.CSR
+	fp    uint64
+	err   error
+}
+
+func (e *matrixEntry) get() (*sparse.CSR, uint64, error) {
+	e.once.Do(func() {
+		e.a, e.err = e.build()
+		if e.err == nil {
+			e.fp = e.a.Fingerprint()
+		}
+	})
+	return e.a, e.fp, e.err
+}
+
+func newRegistry(scale, maxN int) *registry {
+	if scale < 1 {
+		scale = 1
+	}
+	if maxN <= 0 {
+		maxN = 4 << 20
+	}
+	r := &registry{scale: scale, maxN: maxN, byKey: map[string]*matrixEntry{}}
+	for _, p := range suite.All() {
+		p := p
+		r.byKey[p.Name] = &matrixEntry{
+			Name:  p.Name,
+			build: func() (*sparse.CSR, error) { return p.Build(scale), nil },
+		}
+	}
+	return r
+}
+
+// names lists all registered (built or not) matrix names, sorted.
+func (r *registry) names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.byKey))
+	for k := range r.byKey {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// get resolves name, registering a parametric generator entry on first use.
+func (r *registry) get(name string) (*sparse.CSR, uint64, error) {
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return nil, 0, fmt.Errorf("empty matrix name")
+	}
+	r.mu.Lock()
+	e, ok := r.byKey[name]
+	if !ok {
+		build, err := r.parseGenerator(name)
+		if err != nil {
+			r.mu.Unlock()
+			return nil, 0, err
+		}
+		e = &matrixEntry{Name: name, build: build}
+		r.byKey[name] = e
+	}
+	r.mu.Unlock()
+	a, fp, err := e.get()
+	if err != nil {
+		return nil, 0, err
+	}
+	if a.Dim() > r.maxN {
+		return nil, 0, fmt.Errorf("matrix %s has n=%d > limit %d", name, a.Dim(), r.maxN)
+	}
+	return a, fp, nil
+}
+
+// parseGenerator turns "family:args" into a build closure. The returned
+// closure runs outside the registry lock.
+func (r *registry) parseGenerator(name string) (func() (*sparse.CSR, error), error) {
+	parts := strings.Split(name, ":")
+	family := strings.ToLower(parts[0])
+	args := parts[1:]
+	ints := func(n int) ([]int, error) {
+		if len(args) < n {
+			return nil, fmt.Errorf("matrix %q: need at least %d arguments", name, n)
+		}
+		out := make([]int, len(args))
+		for i, a := range args {
+			v, err := strconv.Atoi(a)
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("matrix %q: bad argument %q", name, a)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	switch family {
+	case "poisson1d":
+		v, err := ints(1)
+		if err != nil {
+			return nil, err
+		}
+		return func() (*sparse.CSR, error) { return sparse.Poisson1D(v[0]), nil }, nil
+	case "poisson2d":
+		v, err := ints(1)
+		if err != nil {
+			return nil, err
+		}
+		nx, ny := v[0], v[0]
+		if len(v) > 1 {
+			ny = v[1]
+		}
+		return func() (*sparse.CSR, error) { return sparse.Poisson2D(nx, ny), nil }, nil
+	case "poisson3d":
+		v, err := ints(1)
+		if err != nil {
+			return nil, err
+		}
+		nx, ny, nz := v[0], v[0], v[0]
+		if len(v) > 2 {
+			ny, nz = v[1], v[2]
+		}
+		return func() (*sparse.CSR, error) { return sparse.Poisson3D(nx, ny, nz), nil }, nil
+	case "varcoeff2d", "varcoeff3d":
+		if len(args) < 2 {
+			return nil, fmt.Errorf("matrix %q: need NX:CONTRAST[:SEED]", name)
+		}
+		nx, err := strconv.Atoi(args[0])
+		if err != nil || nx < 1 {
+			return nil, fmt.Errorf("matrix %q: bad size %q", name, args[0])
+		}
+		contrast, err := strconv.ParseFloat(args[1], 64)
+		if err != nil || contrast < 0 {
+			return nil, fmt.Errorf("matrix %q: bad contrast %q", name, args[1])
+		}
+		seed := int64(1)
+		if len(args) > 2 {
+			s, err := strconv.ParseInt(args[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("matrix %q: bad seed %q", name, args[2])
+			}
+			seed = s
+		}
+		if family == "varcoeff2d" {
+			return func() (*sparse.CSR, error) { return sparse.VarCoeff2D(nx, nx, contrast, seed), nil }, nil
+		}
+		return func() (*sparse.CSR, error) { return sparse.VarCoeff3D(nx, nx, nx, contrast, seed), nil }, nil
+	case "aniso2d":
+		if len(args) < 2 {
+			return nil, fmt.Errorf("matrix %q: need NX:EPS", name)
+		}
+		nx, err := strconv.Atoi(args[0])
+		if err != nil || nx < 1 {
+			return nil, fmt.Errorf("matrix %q: bad size %q", name, args[0])
+		}
+		eps, err := strconv.ParseFloat(args[1], 64)
+		if err != nil || eps <= 0 {
+			return nil, fmt.Errorf("matrix %q: bad epsilon %q", name, args[1])
+		}
+		return func() (*sparse.CSR, error) { return sparse.Anisotropic2D(nx, nx, eps), nil }, nil
+	default:
+		return nil, fmt.Errorf("unknown matrix %q (suite name or generator spec expected)", name)
+	}
+}

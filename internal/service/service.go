@@ -1,0 +1,615 @@
+// Package service implements the spcgd solve daemon: a concurrent,
+// stdlib-only JSON façade over the solver stack. It adds three serving-side
+// capabilities on top of the numerical code:
+//
+//   - a bounded worker pool with admission control (queue full → immediate
+//     rejection rather than unbounded buffering);
+//   - a setup cache keyed by (matrix fingerprint, preconditioner spec) that
+//     reuses preconditioner construction and Lanczos spectral estimates
+//     across requests — the expensive "excluded from timings" setup work of
+//     the paper, amortized across a serving workload;
+//   - request coalescing: concurrent PCG requests for the same matrix and
+//     tolerance arriving within a short window are solved together as one
+//     multi-RHS block solve (solver.BatchPCG), sharing the SpMV sweeps.
+//
+// Cancellation is cooperative end to end: every job carries a context whose
+// Done channel is plumbed into Options.Cancel, so deadlines and explicit
+// /jobs/{id}/cancel calls stop the iteration loop and still return partial
+// Stats.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"spcg/internal/basis"
+	"spcg/internal/precond"
+	"spcg/internal/solver"
+	"spcg/internal/sparse"
+	"spcg/internal/vec"
+)
+
+// Config sizes the server. The zero value gets sensible defaults.
+type Config struct {
+	// Workers is the solver pool size (default: NumCPU, max 8).
+	Workers int
+	// QueueDepth bounds admitted-but-unfinished jobs; submissions beyond it
+	// are rejected with ErrQueueFull (default 64).
+	QueueDepth int
+	// BatchWindow is how long the first PCG request for a matrix waits for
+	// same-matrix companions before solving (default 2ms).
+	BatchWindow time.Duration
+	// BatchMax flushes a pending batch immediately once it holds this many
+	// requests (default 8; 1 disables coalescing).
+	BatchMax int
+	// CacheSize is the setup-cache capacity in (matrix, preconditioner)
+	// entries (default 32).
+	CacheSize int
+	// DefaultTimeout bounds each job's wall time when the request does not
+	// set timeout_ms (default 120s).
+	DefaultTimeout time.Duration
+	// Scale divides the suite problem sizes, as in `spcgbench -scale`
+	// (default 100: small enough for interactive serving).
+	Scale int
+	// MaxMatrixDim rejects generator requests beyond this dimension
+	// (default 1<<22).
+	MaxMatrixDim int
+	// MaxDoneJobs bounds retained finished jobs (default 512).
+	MaxDoneJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = runtime.NumCPU()
+		if c.Workers > 8 {
+			c.Workers = 8
+		}
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 64
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.BatchMax < 1 {
+		c.BatchMax = 8
+	}
+	if c.CacheSize < 1 {
+		c.CacheSize = 32
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 120 * time.Second
+	}
+	if c.Scale < 1 {
+		c.Scale = 100
+	}
+	if c.MaxMatrixDim < 1 {
+		c.MaxMatrixDim = 1 << 22
+	}
+	if c.MaxDoneJobs < 1 {
+		c.MaxDoneJobs = 512
+	}
+	return c
+}
+
+// ErrQueueFull is returned by Submit when admission control rejects a job.
+var ErrQueueFull = fmt.Errorf("service: queue full")
+
+// ErrShuttingDown is returned by Submit after Shutdown has begun.
+var ErrShuttingDown = fmt.Errorf("service: shutting down")
+
+// solverFn is the shared solver signature served by the method table.
+type solverFn = func(*sparse.CSR, precond.Interface, []float64, solver.Options) ([]float64, *solver.Stats, error)
+
+func methodTable() map[string]solverFn {
+	return map[string]solverFn{
+		"pcg":       solver.PCG,
+		"pcg3":      solver.PCG3,
+		"spcg":      solver.SPCG,
+		"spcgmon":   solver.SPCGMon,
+		"capcg":     solver.CAPCG,
+		"capcg3":    solver.CAPCG3,
+		"adaptive":  solver.SPCGAdaptive,
+		"pipelined": solver.PipelinedPCG,
+	}
+}
+
+// needsSpectrum lists the methods whose non-monomial bases want λ estimates
+// of M⁻¹A (the cacheable Lanczos setup step).
+var needsSpectrum = map[string]bool{
+	"spcg": true, "capcg": true, "capcg3": true, "adaptive": true,
+}
+
+// batchKey groups coalescable requests: same matrix name, preconditioner and
+// convergence configuration solve in lockstep as one block.
+type batchKey struct {
+	matrix   string
+	prec     string
+	tol      float64
+	maxIters int
+}
+
+type pendingBatch struct {
+	key     batchKey
+	jobs    []*job
+	timer   *time.Timer
+	flushed bool
+}
+
+type workItem struct {
+	jobs []*job // len > 1 ⇒ coalesced PCG batch
+}
+
+// Server is the solve service. Create with New, serve via Handler, stop with
+// Shutdown.
+type Server struct {
+	cfg   Config
+	reg   *registry
+	cache *setupCache
+	jobs  *jobStore
+	met   *metrics
+	start time.Time
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	queue chan *workItem
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	closed   bool
+	admitted int
+	pending  map[batchKey]*pendingBatch
+}
+
+// New starts a server's worker pool and returns it ready to accept jobs.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		reg:        newRegistry(cfg.Scale, cfg.MaxMatrixDim),
+		cache:      newSetupCache(cfg.CacheSize),
+		jobs:       newJobStore(cfg.MaxDoneJobs),
+		met:        newMetrics(),
+		start:      time.Now(),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		// Admission caps outstanding jobs at QueueDepth and a work item never
+		// carries more jobs than exist, so sends below never block.
+		queue:   make(chan *workItem, cfg.QueueDepth),
+		pending: map[batchKey]*pendingBatch{},
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// validate rejects malformed requests before admission so clients get a 400
+// rather than a failed job.
+func (s *Server) validate(req *SolveRequest) error {
+	req.Method = strings.ToLower(strings.TrimSpace(req.Method))
+	if req.Method == "" {
+		req.Method = "pcg"
+	}
+	if _, ok := methodTable()[req.Method]; !ok {
+		return fmt.Errorf("unknown method %q", req.Method)
+	}
+	if strings.TrimSpace(req.Matrix) == "" {
+		return fmt.Errorf("missing matrix")
+	}
+	if _, err := parsePrecond(req.Precond); err != nil {
+		return err
+	}
+	if req.Basis != "" {
+		if _, err := basis.ParseType(req.Basis); err != nil {
+			return err
+		}
+	}
+	if req.Tol < 0 || req.MaxIters < 0 || req.S < 0 || req.TimeoutMS < 0 {
+		return fmt.Errorf("negative tol/max_iters/s/timeout_ms")
+	}
+	if _, err := buildRHS(req.RHS, 1); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Submit validates and admits one request, returning the queued job. The
+// caller decides whether to wait on job completion (sync) or return the id
+// (async).
+func (s *Server) Submit(req SolveRequest) (*job, error) {
+	if err := s.validate(&req); err != nil {
+		return nil, err
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.met.add(func(m *metrics) { m.rejected++ })
+		return nil, ErrShuttingDown
+	}
+	if s.admitted >= s.cfg.QueueDepth {
+		s.mu.Unlock()
+		s.met.add(func(m *metrics) { m.rejected++ })
+		return nil, ErrQueueFull
+	}
+	s.admitted++
+	j := s.jobs.newJob(req, s.baseCtx, timeout)
+	if req.Method == "pcg" && !req.NoBatch && s.cfg.BatchMax > 1 {
+		s.enqueueBatchedLocked(j)
+	} else {
+		s.queue <- &workItem{jobs: []*job{j}}
+	}
+	s.mu.Unlock()
+
+	s.met.add(func(m *metrics) { m.requests++; m.queuedJobs++ })
+	return j, nil
+}
+
+// enqueueBatchedLocked adds j to the pending batch for its key, opening the
+// coalescing window on first arrival and flushing early at BatchMax.
+func (s *Server) enqueueBatchedLocked(j *job) {
+	key := batchKey{
+		matrix:   strings.TrimSpace(j.req.Matrix),
+		tol:      j.req.Tol,
+		maxIters: j.req.MaxIters,
+	}
+	spec, _ := parsePrecond(j.req.Precond) // validated in Submit
+	key.prec = spec.canonical
+
+	pb := s.pending[key]
+	if pb == nil {
+		pb = &pendingBatch{key: key}
+		s.pending[key] = pb
+		pb.timer = time.AfterFunc(s.cfg.BatchWindow, func() { s.flushBatch(pb) })
+	}
+	pb.jobs = append(pb.jobs, j)
+	if len(pb.jobs) >= s.cfg.BatchMax {
+		pb.timer.Stop()
+		s.flushLocked(pb)
+	}
+}
+
+func (s *Server) flushBatch(pb *pendingBatch) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushLocked(pb)
+}
+
+func (s *Server) flushLocked(pb *pendingBatch) {
+	if pb.flushed {
+		return
+	}
+	pb.flushed = true
+	delete(s.pending, pb.key)
+	s.queue <- &workItem{jobs: pb.jobs}
+}
+
+// Job returns the job with the given id, or nil.
+func (s *Server) Job(id string) *job { return s.jobs.get(id) }
+
+// Matrices lists the registered matrix names.
+func (s *Server) Matrices() []string { return s.reg.names() }
+
+// Metrics returns the current serving counters.
+func (s *Server) Metrics() MetricsSnapshot { return s.met.snapshot(s.start, s.cache) }
+
+// Draining reports whether Shutdown has begun (used by /healthz).
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Shutdown stops admission, flushes pending batches, drains the queue and
+// waits for workers. If ctx expires first, in-flight solves are cancelled
+// cooperatively and Shutdown still waits for them to unwind.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for _, pb := range s.pending {
+		pb.timer.Stop()
+		s.flushLocked(pb)
+	}
+	close(s.queue)
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.baseCancel() // cancel in-flight solves, then wait for the unwind
+		<-done
+	}
+	s.baseCancel()
+	return err
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for item := range s.queue {
+		s.run(item)
+	}
+}
+
+// run executes one work item: resolve shared setup once, then solve solo or
+// as a coalesced block.
+func (s *Server) run(item *workItem) {
+	now := time.Now()
+	for _, j := range item.jobs {
+		j.setRunning(now)
+	}
+	n := int64(len(item.jobs))
+	s.met.add(func(m *metrics) { m.inFlight += n })
+	defer s.met.add(func(m *metrics) { m.inFlight -= n })
+
+	// Drop members whose deadline or cancel fired while queued.
+	live := item.jobs[:0]
+	for _, j := range item.jobs {
+		if j.ctx.Err() != nil {
+			s.finishJob(j, JobCancelled, &SolveResult{Error: "cancelled before start", BatchSize: 1})
+			continue
+		}
+		live = append(live, j)
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	lead := live[0]
+	a, fp, err := s.reg.get(lead.req.Matrix)
+	if err != nil {
+		s.failAll(live, err)
+		return
+	}
+	spec, err := parsePrecond(lead.req.Precond)
+	if err != nil {
+		s.failAll(live, err)
+		return
+	}
+	entry, _ := s.cache.get(setupKey{fp: fp, prec: spec.canonical})
+	m, err := entry.preconditioner(a, spec)
+	if err != nil {
+		s.failAll(live, err)
+		return
+	}
+
+	if len(live) > 1 {
+		s.runBatch(live, a, m)
+		return
+	}
+	s.runSolo(lead, a, m, entry, spec)
+}
+
+func (s *Server) failAll(jobs []*job, err error) {
+	for _, j := range jobs {
+		s.finishJob(j, JobFailed, &SolveResult{Error: err.Error(), BatchSize: 1})
+	}
+}
+
+// runSolo executes one job with the requested method.
+func (s *Server) runSolo(j *job, a *sparse.CSR, m precond.Interface, entry *setupEntry, spec precondSpec) {
+	req := j.req
+	solve := methodTable()[req.Method]
+	opts := optsFromReq(req, j.ctx.Done())
+	if needsSpectrum[req.Method] && opts.Basis != basis.Monomial {
+		sVal := opts.S
+		if sVal <= 0 {
+			sVal = 10
+		}
+		if est, err := entry.spectrumFor(a, spec, sVal); err == nil {
+			opts.Spectrum = est
+		}
+		// On estimate failure the solver falls back to computing its own.
+	}
+	b, err := buildRHS(req.RHS, a.Dim())
+	if err != nil {
+		s.finishJob(j, JobFailed, &SolveResult{Error: err.Error(), BatchSize: 1})
+		return
+	}
+
+	t0 := time.Now()
+	x, stats, err := solve(a, m, b, opts)
+	elapsed := time.Since(t0)
+	s.met.observe(req.Method, elapsed)
+
+	res := statsToResult(stats, err, false, 1, elapsed, norm2(x))
+	s.recordSolve(stats, true)
+	switch {
+	case err == nil:
+		s.finishJob(j, JobDone, res)
+	case isCancelled(err):
+		s.finishJob(j, JobCancelled, res)
+	default:
+		s.finishJob(j, JobFailed, res)
+	}
+}
+
+// runBatch executes k coalesced PCG jobs as one multi-RHS block solve. The
+// block's Cancel channel closes only when every member's context is done, so
+// one member's deadline never aborts its companions.
+func (s *Server) runBatch(members []*job, a *sparse.CSR, m precond.Interface) {
+	k := len(members)
+	n := a.Dim()
+	bs := vec.NewBlock(n, k)
+	for i, j := range members {
+		col, err := buildRHS(j.req.RHS, n)
+		if err != nil {
+			// Validation makes this unreachable, but stay defensive.
+			s.finishJob(j, JobFailed, &SolveResult{Error: err.Error(), BatchSize: k})
+			col = make([]float64, n)
+		}
+		copy(bs.Col(i), col)
+	}
+
+	allDone := make(chan struct{})
+	go func() {
+		for _, j := range members {
+			<-j.ctx.Done() // finishJob cancels each ctx, so this always drains
+		}
+		close(allDone)
+	}()
+
+	opts := optsFromReq(members[0].req, allDone)
+	t0 := time.Now()
+	xs, statsList, err := solver.BatchPCG(a, m, bs, opts)
+	elapsed := time.Since(t0)
+
+	if err != nil && !isCancelled(err) {
+		s.failAll(members, err)
+		return
+	}
+	s.met.add(func(mm *metrics) {
+		mm.blockSolves++
+		mm.batchedRequests += int64(k)
+		mm.maxBatch = max64(mm.maxBatch, int64(k))
+	})
+	for i, j := range members {
+		if j.status().State != JobRunning {
+			continue // already failed above on a bad RHS
+		}
+		var st *solver.Stats
+		if statsList != nil {
+			st = statsList[i]
+		}
+		var xnorm float64
+		if xs != nil {
+			xnorm = norm2(xs.Col(i))
+		}
+		s.met.observe(j.req.Method, elapsed)
+		s.recordSolve(st, false)
+		res := statsToResult(st, nil, true, k, elapsed, xnorm)
+		switch {
+		case st != nil && st.Converged:
+			s.finishJob(j, JobDone, res)
+		case j.ctx.Err() != nil || isCancelled(err):
+			res.Error = solver.ErrCancelled.Error()
+			s.finishJob(j, JobCancelled, res)
+		default:
+			s.finishJob(j, JobDone, res) // ran to cap/breakdown: done, not converged
+		}
+	}
+}
+
+// recordSolve accumulates solver-side counters into the metrics.
+func (s *Server) recordSolve(st *solver.Stats, solo bool) {
+	s.met.add(func(m *metrics) {
+		if solo {
+			m.soloSolves++
+		}
+		if st != nil {
+			m.iterationsTotal += int64(st.Iterations)
+			m.mvProductsTotal += int64(st.MVProducts)
+			m.precAppliesTotal += int64(st.PrecApplies)
+		}
+	})
+}
+
+// finishJob finalizes a job exactly once and releases its admission slot.
+func (s *Server) finishJob(j *job, state JobState, res *SolveResult) {
+	if !j.finish(state, res, time.Now()) {
+		return
+	}
+	s.jobs.markDone(j.id)
+	s.mu.Lock()
+	s.admitted--
+	s.mu.Unlock()
+	s.met.add(func(m *metrics) {
+		m.queuedJobs--
+		switch state {
+		case JobDone:
+			m.completed++
+		case JobFailed:
+			m.failed++
+		case JobCancelled:
+			m.cancelled++
+		}
+	})
+}
+
+func isCancelled(err error) bool { return errors.Is(err, solver.ErrCancelled) }
+
+// optsFromReq maps the wire request onto solver Options. The service always
+// uses the paper's default criterion and leaves Tracker/Injector nil (they
+// are not concurrency-safe to share; see TestConcurrentSolvesShareState).
+func optsFromReq(req SolveRequest, cancel <-chan struct{}) solver.Options {
+	opts := solver.Options{
+		S:             req.S,
+		Tol:           req.Tol,
+		MaxIterations: req.MaxIters,
+		Cancel:        cancel,
+		Basis:         basis.Chebyshev,
+	}
+	if req.Basis != "" {
+		if t, err := basis.ParseType(req.Basis); err == nil {
+			opts.Basis = t
+		}
+	}
+	return opts
+}
+
+// buildRHS constructs the right-hand side named by spec: "ones" (default),
+// "sin", or "random[:seed]" (deterministic per seed).
+func buildRHS(spec string, n int) ([]float64, error) {
+	name, arg := strings.TrimSpace(strings.ToLower(spec)), ""
+	if i := strings.IndexByte(name, ':'); i >= 0 {
+		name, arg = name[:i], name[i+1:]
+	}
+	b := make([]float64, n)
+	switch name {
+	case "", "ones":
+		for i := range b {
+			b[i] = 1
+		}
+	case "sin":
+		for i := range b {
+			b[i] = math.Sin(float64(i + 1))
+		}
+	case "random":
+		seed := int64(1)
+		if arg != "" {
+			if _, err := fmt.Sscanf(arg, "%d", &seed); err != nil {
+				return nil, fmt.Errorf("bad rhs seed %q", arg)
+			}
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for i := range b {
+			b[i] = 2*rng.Float64() - 1
+		}
+	default:
+		return nil, fmt.Errorf("unknown rhs %q (ones, sin, random[:seed])", spec)
+	}
+	return b, nil
+}
+
+func norm2(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}

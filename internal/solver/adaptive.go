@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"errors"
 	"math"
 
 	"spcg/internal/precond"
@@ -39,6 +40,15 @@ func SPCGAdaptive(a *sparse.CSR, m precond.Interface, b []float64, opts Options)
 			x, stats, err = PCG(a, m, b, phase)
 		} else {
 			x, stats, err = SPCG(a, m, b, phase)
+		}
+		if errors.Is(err, ErrCancelled) {
+			// Cancelled mid-phase: surface the cascade's aggregate partial
+			// stats alongside the error, like the single-method solvers do.
+			accumulate(total, stats)
+			total.Converged = stats.Converged
+			total.FinalRelative = stats.FinalRelative
+			total.TrueRelResidual = stats.TrueRelResidual
+			return x, total, err
 		}
 		if err != nil {
 			return nil, nil, err

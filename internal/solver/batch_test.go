@@ -1,0 +1,158 @@
+package solver
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"spcg/internal/precond"
+	"spcg/internal/sparse"
+	"spcg/internal/vec"
+)
+
+// TestBatchPCGMatchesPCG: each column of a batch solve must land on the same
+// answer as a standalone PCG run on that right-hand side.
+func TestBatchPCGMatchesPCG(t *testing.T) {
+	a := sparse.Poisson2D(20, 20)
+	m, err := precond.NewJacobi(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := a.Dim()
+	const k = 4
+	bs := vec.NewBlock(n, k)
+	for j := 0; j < k; j++ {
+		for i := 0; i < n; i++ {
+			bs.Col(j)[i] = math.Sin(float64(i*(j+1))) + 1
+		}
+	}
+	opts := Options{Tol: 1e-9}
+	x, stats, err := BatchPCG(a, m, bs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < k; j++ {
+		if !stats[j].Converged {
+			t.Fatalf("column %d did not converge: %+v", j, stats[j])
+		}
+		if stats[j].TrueRelResidual > 1e-8 {
+			t.Errorf("column %d true residual %v too large", j, stats[j].TrueRelResidual)
+		}
+		ref, refStats, err := PCG(a, m, bs.Col(j), opts)
+		if err != nil || !refStats.Converged {
+			t.Fatalf("reference PCG column %d failed: %v", j, err)
+		}
+		var diff, norm float64
+		for i := 0; i < n; i++ {
+			d := ref[i] - x.Col(j)[i]
+			diff += d * d
+			norm += ref[i] * ref[i]
+		}
+		if math.Sqrt(diff) > 1e-6*math.Sqrt(norm) {
+			t.Errorf("column %d deviates from standalone PCG by %v (relative)", j, math.Sqrt(diff/norm))
+		}
+		if stats[j].Iterations != refStats.Iterations {
+			// Lockstep batching must not change per-column iteration counts:
+			// the recurrences are independent.
+			t.Errorf("column %d: batch %d iterations, standalone %d", j, stats[j].Iterations, refStats.Iterations)
+		}
+	}
+}
+
+// TestBatchPCGMixedDifficulty: columns converging at different speeds freeze
+// independently — an easy column must not be dragged to the hard column's
+// iteration count.
+func TestBatchPCGMixedDifficulty(t *testing.T) {
+	a := sparse.Poisson2D(24, 24)
+	m, _ := precond.NewJacobi(a)
+	n := a.Dim()
+	bs := vec.NewBlock(n, 2)
+	for i := 0; i < n; i++ {
+		bs.Col(0)[i] = 1 // smooth rhs: fast
+	}
+	for i := 0; i < n; i++ {
+		bs.Col(1)[i] = math.Sin(float64(13 * i)) // rough rhs: slower
+	}
+	_, stats, err := BatchPCG(a, m, bs, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats[0].Converged || !stats[1].Converged {
+		t.Fatalf("both columns should converge: %+v %+v", stats[0], stats[1])
+	}
+	if stats[0].Iterations >= stats[1].Iterations {
+		t.Logf("note: smooth rhs took %d ≥ rough rhs %d iterations", stats[0].Iterations, stats[1].Iterations)
+	}
+	// MVProducts must reflect per-column freezing: the fast column stops
+	// paying for SpMVs once converged.
+	if stats[0].Iterations < stats[1].Iterations && stats[0].MVProducts >= stats[1].MVProducts {
+		t.Errorf("frozen column kept charging SpMVs: %d vs %d", stats[0].MVProducts, stats[1].MVProducts)
+	}
+}
+
+// TestBatchPCGZeroColumn: an all-zero rhs converges immediately with x = 0.
+func TestBatchPCGZeroColumn(t *testing.T) {
+	a := sparse.Poisson2D(10, 10)
+	m, _ := precond.NewJacobi(a)
+	n := a.Dim()
+	bs := vec.NewBlock(n, 2)
+	for i := 0; i < n; i++ {
+		bs.Col(1)[i] = 1
+	}
+	x, stats, err := BatchPCG(a, m, bs, Options{Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats[0].Converged || stats[0].Iterations != 0 {
+		t.Errorf("zero column: %+v", stats[0])
+	}
+	if vec.Norm2(x.Col(0)) != 0 {
+		t.Error("zero rhs produced nonzero solution")
+	}
+	if !stats[1].Converged {
+		t.Errorf("nonzero column failed: %+v", stats[1])
+	}
+}
+
+// TestBatchPCGCancelled: a closed Cancel channel stops the batch with
+// ErrCancelled and partial per-column stats.
+func TestBatchPCGCancelled(t *testing.T) {
+	a := sparse.Poisson2D(16, 16)
+	m, _ := precond.NewJacobi(a)
+	n := a.Dim()
+	bs := vec.NewBlock(n, 3)
+	for j := 0; j < 3; j++ {
+		for i := 0; i < n; i++ {
+			bs.Col(j)[i] = 1
+		}
+	}
+	done := make(chan struct{})
+	close(done)
+	x, stats, err := BatchPCG(a, m, bs, Options{Tol: 1e-12, Cancel: done})
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("want ErrCancelled, got %v", err)
+	}
+	if x == nil || len(stats) != 3 {
+		t.Fatal("cancelled batch must return partial block and stats")
+	}
+	for j, st := range stats {
+		if st.Converged {
+			t.Errorf("column %d converged with zero iterations?", j)
+		}
+	}
+}
+
+// TestBatchPCGDimensionErrors rejects malformed inputs up front.
+func TestBatchPCGDimensionErrors(t *testing.T) {
+	a := sparse.Poisson2D(8, 8)
+	m, _ := precond.NewJacobi(a)
+	if _, _, err := BatchPCG(a, m, vec.NewBlock(a.Dim()+1, 2), Options{}); !errors.Is(err, ErrDimension) {
+		t.Errorf("row mismatch: got %v", err)
+	}
+	if _, _, err := BatchPCG(a, m, vec.NewBlock(a.Dim(), 0), Options{}); !errors.Is(err, ErrDimension) {
+		t.Errorf("empty block: got %v", err)
+	}
+	if _, _, err := BatchPCG(nil, m, vec.NewBlock(4, 1), Options{}); !errors.Is(err, ErrDimension) {
+		t.Errorf("nil matrix: got %v", err)
+	}
+}

@@ -87,6 +87,9 @@ func CAPCG(a *sparse.CSR, m precond.Interface, b []float64, opts Options) ([]flo
 	maxOuter := (opts.MaxIterations + s - 1) / s
 
 	for k := 0; k <= maxOuter; k++ {
+		if c.cancelled() {
+			return finishCancelled(c, a, b, x, opts, stats)
+		}
 		// Convergence check at the block boundary.
 		rho := c.localDot(r, u)
 		if !finite(rho) || rho < 0 {

@@ -100,6 +100,9 @@ func CAPCG3(a *sparse.CSR, m precond.Interface, b []float64, opts Options) ([]fl
 	globalStep := 0
 
 	for k := 0; k <= maxOuter; k++ {
+		if c.cancelled() {
+			return finishCancelled(c, a, b, x, opts, stats)
+		}
 		c.applyM(u, r)
 		rho0 := c.localDot(r, u)
 		if !finite(rho0) || rho0 < 0 {

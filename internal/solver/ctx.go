@@ -22,6 +22,7 @@ type ctx struct {
 	n       int
 	stats   *Stats
 	f32Gram bool
+	cancel  <-chan struct{} // Options.Cancel; nil means never cancelled
 }
 
 func newCtx(a *sparse.CSR, m precond.Interface, opts *Options, stats *Stats) (*ctx, error) {
@@ -35,7 +36,21 @@ func newCtx(a *sparse.CSR, m precond.Interface, opts *Options, stats *Stats) (*c
 	if m.Dim() != n {
 		return nil, fmt.Errorf("%w: matrix n=%d, preconditioner n=%d", ErrDimension, n, m.Dim())
 	}
-	return &ctx{a: a, m: m, tr: opts.Tracker, inj: opts.Injector, n: n, stats: stats, f32Gram: opts.Float32Gram}, nil
+	return &ctx{a: a, m: m, tr: opts.Tracker, inj: opts.Injector, n: n, stats: stats, f32Gram: opts.Float32Gram, cancel: opts.Cancel}, nil
+}
+
+// cancelled polls Options.Cancel without blocking. Solvers call it once per
+// (outer) iteration, so cancellation latency is one iteration's work.
+func (c *ctx) cancelled() bool {
+	if c.cancel == nil {
+		return false
+	}
+	select {
+	case <-c.cancel:
+		return true
+	default:
+		return false
+	}
 }
 
 // spmv computes dst = A·src, charging one distributed SpMV. An installed

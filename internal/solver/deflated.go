@@ -103,6 +103,15 @@ func DeflatedPCG(a *sparse.CSR, m precond.Interface, b []float64, w *vec.Block, 
 	}
 
 	for i := 0; i < opts.MaxIterations; i++ {
+		if c.cancelled() {
+			// The deflated correction step still runs: the partial iterate is
+			// returned with its exactly-solvable component included.
+			x, stats, err := finishDeflated(c, a, b, x, w, chol, opts, stats)
+			if err == nil && !stats.Converged {
+				err = ErrCancelled
+			}
+			return x, stats, err
+		}
 		c.spmv(s, p)
 		if err := project(s); err != nil {
 			stats.Breakdown = fmt.Errorf("%w: %v", ErrBreakdown, err)

@@ -114,6 +114,12 @@ type Options struct {
 	// MaxRollbacks caps checkpoint restorations per run (default 100); the
 	// cap exhausting is reported as a breakdown.
 	MaxRollbacks int
+	// Cancel, when non-nil, requests cooperative cancellation: the solver
+	// polls the channel at every (outer) iteration and, once it is closed,
+	// stops and returns ErrCancelled together with the partial solution and
+	// Stats reached so far. Pass a context's Done() channel to bound the
+	// wall-time of a solve (the solve service's deadline plumbing).
+	Cancel <-chan struct{}
 }
 
 func (o Options) withDefaults() Options {
@@ -181,3 +187,10 @@ var ErrBreakdown = errors.New("solver: numerical breakdown")
 
 // ErrDimension reports mismatched operand sizes.
 var ErrDimension = errors.New("solver: dimension mismatch")
+
+// ErrCancelled reports that a solve stopped because Options.Cancel fired.
+// Unlike breakdowns it is returned as the error value — but the partial
+// solution and Stats are still returned alongside it, so a timed-out request
+// can report how far it got. A run whose iterate already satisfies the
+// tolerance when cancellation is observed reports convergence instead.
+var ErrCancelled = errors.New("solver: cancelled")

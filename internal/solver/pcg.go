@@ -69,6 +69,9 @@ func PCG(a *sparse.CSR, m precond.Interface, b []float64, opts Options) ([]float
 	}
 
 	for i := 0; i < opts.MaxIterations; i++ {
+		if c.cancelled() {
+			return finishCancelled(c, a, b, x, opts, stats)
+		}
 		c.spmv(s, p)
 		den := c.dot(p, s) // global reduction 1
 		if !finite(den) || den <= 0 {
@@ -170,4 +173,16 @@ func finishRun(c *ctx, a *sparse.CSR, b, x []float64, opts Options, stats *Stats
 		stats.RetriedMessages = c.tr.Counts.RetriedMessages
 	}
 	return x
+}
+
+// finishCancelled finalizes a run whose Options.Cancel fired: the partial
+// iterate and stats are returned like any other early stop, with ErrCancelled
+// as the error — unless the iterate already meets the tolerance, in which
+// case the run simply reports convergence.
+func finishCancelled(c *ctx, a *sparse.CSR, b, x []float64, opts Options, stats *Stats) ([]float64, *Stats, error) {
+	x = finishRun(c, a, b, x, opts, stats)
+	if stats.Converged {
+		return x, stats, nil
+	}
+	return x, stats, ErrCancelled
 }

@@ -75,6 +75,9 @@ func PCG3(a *sparse.CSR, m precond.Interface, b []float64, opts Options) ([]floa
 	rho := 1.0
 	var gammaPrev, muPrev, rhoPrev float64
 	for i := 0; i < opts.MaxIterations; i++ {
+		if c.cancelled() {
+			return finishCancelled(c, a, b, x, opts, stats)
+		}
 		c.spmv(w, u)   // w = A·u
 		c.applyM(v, w) // v = M⁻¹·A·u
 		var rr float64

@@ -78,6 +78,9 @@ func PipelinedPCG(a *sparse.CSR, m precond.Interface, b []float64, opts Options)
 
 	var alpha, gammaOld float64
 	for i := 0; i < opts.MaxIterations; i++ {
+		if c.cancelled() {
+			return finishCancelled(c, a, b, x, opts, stats)
+		}
 		// Local dots for γ = (r,u), δ = (w,u) — and ‖r‖² when the 2-norm
 		// criterion is active — then ONE non-blocking allreduce whose
 		// completion hides behind the next M⁻¹w and A·m.

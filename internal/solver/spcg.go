@@ -116,6 +116,9 @@ func runSStep(a *sparse.CSR, m precond.Interface, b []float64, opts Options, mom
 	}
 
 	for k := 0; k <= maxOuter; k++ {
+		if c.cancelled() {
+			return finishCancelled(c, a, b, x, opts, stats)
+		}
 		// u⁽ᵏ⁾ = M⁻¹r⁽ᵏ⁾ (needed for both the criterion and the MPK).
 		c.applyM(u, r)
 

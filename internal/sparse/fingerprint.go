@@ -1,0 +1,44 @@
+package sparse
+
+import "math"
+
+// FNV-1a 64-bit parameters.
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x100000001b3
+)
+
+// Fingerprint returns an FNV-1a content hash of the matrix: the dimension,
+// the row pointers, the column indices and the bit patterns of the values,
+// in storage order. Two CSR matrices have equal fingerprints iff they store
+// the same entries in the same layout (up to hash collision), which makes
+// the fingerprint a stable cache key for per-matrix setup state
+// (preconditioners, spectral estimates) shared across solve requests.
+//
+// The hash covers no derived or mutable state, so it must be recomputed
+// after any in-place mutation (Scale, AddDiag). It depends only on exported
+// fields and is safe to call concurrently with other readers.
+func (a *CSR) Fingerprint() uint64 {
+	h := uint64(fnvOffset64)
+	h = fnvUint64(h, uint64(a.N))
+	for _, p := range a.RowPtr {
+		h = fnvUint64(h, uint64(p))
+	}
+	for _, j := range a.ColIdx {
+		h = fnvUint64(h, uint64(j))
+	}
+	for _, v := range a.Val {
+		h = fnvUint64(h, math.Float64bits(v))
+	}
+	return h
+}
+
+// fnvUint64 folds the 8 bytes of v (little-endian) into the FNV-1a state.
+func fnvUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}

@@ -1,0 +1,77 @@
+package sparse
+
+import "testing"
+
+func TestFingerprintDeterministic(t *testing.T) {
+	a := Poisson2D(17, 13)
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Fatal("fingerprint not deterministic across calls")
+	}
+	b := Poisson2D(17, 13)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical matrices have different fingerprints")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := Poisson2D(11, 11)
+	fp := base.Fingerprint()
+
+	val := Poisson2D(11, 11)
+	val.Val[len(val.Val)/2] += 1e-13
+	if val.Fingerprint() == fp {
+		t.Error("value perturbation not reflected in fingerprint")
+	}
+
+	scaled := Poisson2D(11, 11)
+	scaled.Scale(1 + 1e-15)
+	if scaled.Fingerprint() == fp {
+		t.Error("Scale not reflected in fingerprint")
+	}
+
+	shifted := Poisson2D(11, 11)
+	shifted.AddDiag(1e-12)
+	if shifted.Fingerprint() == fp {
+		t.Error("AddDiag not reflected in fingerprint")
+	}
+
+	if Poisson2D(11, 12).Fingerprint() == fp {
+		t.Error("different shape has equal fingerprint")
+	}
+	// Structure-only change: swapping a stored column index must change the
+	// hash even though the multiset of bytes hashed stays similar.
+	perm := Poisson2D(11, 11)
+	k := perm.RowPtr[5]
+	perm.ColIdx[k], perm.ColIdx[k+1] = perm.ColIdx[k+1], perm.ColIdx[k]
+	if perm.Fingerprint() == fp {
+		t.Error("column-index swap has equal fingerprint")
+	}
+}
+
+// TestFingerprintCollisionsAcrossGenerators is the collision sanity check on
+// the generator families: matrices of different family, size or difficulty
+// must all hash differently.
+func TestFingerprintCollisionsAcrossGenerators(t *testing.T) {
+	mats := []*CSR{
+		Poisson1D(300),
+		Poisson2D(16, 16),
+		Poisson2D(16, 17),
+		Poisson3D(7, 7, 7),
+		Poisson3D27(7, 7, 7),
+		VarCoeff2D(16, 16, 1.0, 1),
+		VarCoeff2D(16, 16, 1.0, 2),
+		VarCoeff2D(16, 16, 2.0, 1),
+		VarCoeff3D(7, 7, 7, 1.0, 1),
+		Anisotropic2D(16, 16, 0.01),
+		CircuitLaplacian(16, 16, 12, 0.01, 3),
+		CircuitLaplacian(16, 16, 12, 0.01, 4),
+	}
+	seen := map[uint64]int{}
+	for i, m := range mats {
+		fp := m.Fingerprint()
+		if j, dup := seen[fp]; dup {
+			t.Fatalf("matrices %d and %d collide on fingerprint %#x", i, j, fp)
+		}
+		seen[fp] = i
+	}
+}

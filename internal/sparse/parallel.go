@@ -3,6 +3,8 @@ package sparse
 import (
 	"runtime"
 	"sync"
+
+	"spcg/internal/vec"
 )
 
 // parSpMVThreshold is the nnz count below which MulVecPar stays sequential.
@@ -38,6 +40,18 @@ func (a *CSR) MulVecPar(dst, x []float64) {
 		}(lo, hi)
 	}
 	wg.Wait()
+}
+
+// MulBlockPar computes one SpMV per column, dst_j = A·x_j, with each column
+// going through the row-parallel kernel. It is the batched counterpart of
+// MulVecPar used by the solve service's coalesced multi-RHS solves.
+func (a *CSR) MulBlockPar(dst, x *vec.Block) {
+	if dst.S() != x.S() {
+		panic("sparse: MulBlockPar column-count mismatch")
+	}
+	for j := 0; j < x.S(); j++ {
+		a.MulVecPar(dst.Col(j), x.Col(j))
+	}
 }
 
 // NNZBalancedRanges splits the rows of a into p contiguous ranges with

@@ -192,6 +192,17 @@ var PipelinedPCG = solver.PipelinedPCG
 // condition number (extension; DESIGN.md).
 var DeflatedPCG = solver.DeflatedPCG
 
+// BatchPCG solves A·X = B for k right-hand sides in lockstep: each column
+// follows the exact standard-PCG recurrence, but the k SpMVs of every
+// iteration run as one block sweep over A. Used by the solve service to
+// coalesce concurrent same-matrix requests (internal/service).
+var BatchPCG = solver.BatchPCG
+
+// ErrCancelled is returned (wrapped) by every solver when Options.Cancel
+// closes before convergence; the partial solution and Stats are still
+// returned alongside it.
+var ErrCancelled = solver.ErrCancelled
+
 // NewBlockVector allocates an n×k multivector, e.g. for deflation subspaces.
 var NewBlockVector = vec.NewBlock
 

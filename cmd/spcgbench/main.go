@@ -6,12 +6,14 @@
 //	spcgbench fig1   [-dim 64] [-maxnodes 128] [-svalues 5,10,15]
 //	spcgbench ablation
 //	spcgbench faults [-dim 20] [-s 6]
+//	spcgbench kernels [-sizes 4096,65536,1048576] [-s 8] [-workersweep 1,2,4] [-reps 7] [-out BENCH_kernels.json]
 //
 // Scale divides the paper's matrix sizes (1 = full size); see DESIGN.md for
 // the experiment-to-module index.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -53,6 +55,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	only := fs.String("only", "", "comma-separated matrix names (table2; default all 40)")
 	ranksPerNode := fs.Int("ranks", 128, "ranks per virtual node")
 	maxIters := fs.Int("maxiters", 0, "iteration cap (default 12000, the paper's cutoff; scale it with -scale for faster sweeps)")
+	sizesFlag := fs.String("sizes", "", "comma-separated vector lengths (kernels; default 4096,65536,1048576)")
+	workerSweep := fs.String("workersweep", "", "comma-separated pool sizes (kernels; default 1,2,GOMAXPROCS)")
+	reps := fs.Int("reps", 0, "timing repetitions, min reported (kernels; default 7)")
+	out := fs.String("out", "", "also write the result as JSON to this file (kernels)")
 	if err := fs.Parse(args[1:]); err != nil {
 		return 2
 	}
@@ -154,6 +160,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err == nil {
 			experiments.RenderFaults(stdout, res)
 		}
+	case "kernels":
+		var kcfg experiments.KernelsConfig
+		kcfg.Reps = *reps
+		// The global -s default (10) is for the table experiments; kernels
+		// defaults to 8, the acceptance criterion's block width.
+		if *s != 10 {
+			kcfg.S = *s
+		}
+		if kcfg.Sizes, err = parseIntList(*sizesFlag); err != nil {
+			fmt.Fprintf(stderr, "bad -sizes: %v\n", err)
+			return 2
+		}
+		if kcfg.Workers, err = parseIntList(*workerSweep); err != nil {
+			fmt.Fprintf(stderr, "bad -workersweep: %v\n", err)
+			return 2
+		}
+		var res *experiments.KernelsResult
+		res, err = experiments.RunKernels(kcfg, stderr)
+		if err == nil {
+			experiments.RenderKernels(stdout, res)
+			if *out != "" {
+				var buf []byte
+				buf, err = json.MarshalIndent(res, "", "  ")
+				if err == nil {
+					err = os.WriteFile(*out, append(buf, '\n'), 0o644)
+				}
+			}
+		}
 	}
 	if err != nil {
 		fmt.Fprintf(stderr, "spcgbench %s: %v\n", cmd, err)
@@ -166,9 +200,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 var knownCommands = map[string]bool{
 	"table1": true, "table2": true, "table3": true, "fig1": true,
 	"pipeline": true, "predict": true, "ablation": true, "faults": true,
+	"kernels": true,
+}
+
+// parseIntList parses "a,b,c" into positive ints; empty input returns nil
+// (the subcommand's defaults apply).
+func parseIntList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, tok := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("entry %q", tok)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, `usage: spcgbench <table1|table2|table3|fig1|ablation|predict|pipeline|faults> [flags]
+	fmt.Fprintln(w, `usage: spcgbench <table1|table2|table3|fig1|ablation|predict|pipeline|faults|kernels> [flags]
 Run "spcgbench <cmd> -h" for per-command flags.`)
 }

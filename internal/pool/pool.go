@@ -1,0 +1,292 @@
+// Package pool is the shared-memory kernel execution engine: a persistent
+// pool of worker goroutines that the vec and sparse kernels dispatch
+// row-range and task-grid work onto.
+//
+// The engine exists because the s-step methods' whole shared-memory argument
+// (paper §2.3, Table 1) is that they trade synchronization for larger local
+// BLAS kernels — an advantage that evaporates if every kernel invocation pays
+// goroutine spawn + join overhead. A Pool's workers are created once and
+// parked on per-worker wake channels; a dispatch costs one channel send per
+// woken worker and one atomic countdown, with no per-call goroutine creation,
+// no per-call channel or sync.WaitGroup allocation, and the caller itself
+// executing part 0 so the common small-fanout case never blocks on the
+// scheduler.
+//
+// Determinism contract: work is split into parts by *fixed* arithmetic on
+// (n, parts) — never by work stealing or atomic grabbing — and parts are
+// assigned to workers by a fixed stride. Reduction-style kernels (fused Gram,
+// pool dots) keep one accumulator per part and combine them in part order.
+// Consequently every kernel result is bitwise reproducible for a fixed
+// worker count, including when a dispatch degrades to inline execution
+// (a closed pool or a single-worker pool runs the same parts in the same
+// order sequentially).
+//
+// Concurrency contract: a Pool serializes dispatches internally (one mutex),
+// so any number of solver goroutines may share one Pool; concurrent
+// dispatches queue rather than interleave. Resizing via SetDefaultWorkers
+// swaps the shared default pool atomically — in-flight dispatches on the old
+// pool complete before its workers exit, and later dispatches that still hold
+// the old pointer fall back to inline execution (same results, no panic).
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a fixed-size set of persistent worker goroutines.
+type Pool struct {
+	nw   int
+	wake []chan struct{} // wake[w] for workers 1..nw-1 (worker 0 is the caller)
+	done chan struct{}   // persistent completion channel, buffered 1
+
+	mu     sync.Mutex // serializes dispatches; fields below are dispatch state
+	closed bool
+	fn     func(part int)
+	parts  int
+	active int
+	pend   atomic.Int32
+}
+
+// New creates a pool with the given worker count (minimum 1). A pool with one
+// worker runs everything inline on the caller.
+func New(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{
+		nw:   workers,
+		wake: make([]chan struct{}, workers),
+		done: make(chan struct{}, 1),
+	}
+	for w := 1; w < workers; w++ {
+		p.wake[w] = make(chan struct{}, 1)
+		go p.workerLoop(w)
+	}
+	return p
+}
+
+// Workers returns the pool's worker count (including the dispatching caller).
+func (p *Pool) Workers() int { return p.nw }
+
+func (p *Pool) workerLoop(w int) {
+	for range p.wake[w] {
+		p.runParts(w)
+		if p.pend.Add(-1) == 0 {
+			p.done <- struct{}{}
+		}
+	}
+}
+
+// runParts executes the strided part set of worker w in increasing part
+// order (fixed assignment: part t goes to worker t mod active).
+func (p *Pool) runParts(w int) {
+	for t := w; t < p.parts; t += p.active {
+		p.fn(t)
+	}
+}
+
+// Dispatch runs fn(part) for every part in [0, parts), spread over the
+// workers. Parts may exceed the worker count; assignment is strided and
+// fixed. Dispatch returns when every part has finished. fn must only touch
+// data disjoint per part (or its own per-part accumulator slot).
+func (p *Pool) Dispatch(parts int, fn func(part int)) {
+	if parts <= 0 {
+		return
+	}
+	if parts == 1 || p.nw == 1 {
+		countInline.Add(1)
+		for t := 0; t < parts; t++ {
+			fn(t)
+		}
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		countInline.Add(1)
+		for t := 0; t < parts; t++ {
+			fn(t)
+		}
+		return
+	}
+	countDispatch.Add(1)
+	active := p.nw
+	if active > parts {
+		active = parts
+	}
+	p.fn = fn
+	p.parts = parts
+	p.active = active
+	p.pend.Store(int32(active - 1))
+	for w := 1; w < active; w++ {
+		p.wake[w] <- struct{}{}
+	}
+	p.runParts(0) // the caller is worker 0
+	if active > 1 {
+		<-p.done
+	}
+	p.fn = nil
+}
+
+// Run splits [0, n) into one fixed contiguous chunk per worker and runs
+// body(part, lo, hi) for each non-empty chunk. Chunk boundaries depend only
+// on (n, workers): chunk = ceil(n/workers). Sub-threshold n should be handled
+// by the caller (Run always dispatches).
+func (p *Pool) Run(n int, body func(part, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.nw
+	if w > n {
+		w = n
+	}
+	chunk := (n + w - 1) / w
+	parts := (n + chunk - 1) / chunk
+	p.Dispatch(parts, func(t int) {
+		lo := t * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		body(t, lo, hi)
+	})
+}
+
+// NumParts returns the number of parts Run(n, …) will dispatch for this
+// pool's size — reduction kernels size their per-part accumulator arrays
+// with it so partials line up with Run's fixed chunking.
+func (p *Pool) NumParts(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	w := p.nw
+	if w > n {
+		w = n
+	}
+	chunk := (n + w - 1) / w
+	return (n + chunk - 1) / chunk
+}
+
+// RunBounds runs body(part, bounds[part], bounds[part+1]) for each of the
+// len(bounds)-1 precomputed ranges (e.g. nnz-balanced row ranges). Empty
+// ranges still occupy a part slot so accumulator indexing stays stable.
+func (p *Pool) RunBounds(bounds []int, body func(part, lo, hi int)) {
+	parts := len(bounds) - 1
+	if parts <= 0 {
+		return
+	}
+	p.Dispatch(parts, func(t int) {
+		if bounds[t] < bounds[t+1] {
+			body(t, bounds[t], bounds[t+1])
+		}
+	})
+}
+
+// Close stops the workers. Dispatches in flight complete first; later
+// dispatches run inline. Close is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for w := 1; w < p.nw; w++ {
+		close(p.wake[w])
+	}
+}
+
+// defaultPool is the shared engine used by the vec and sparse kernels,
+// created lazily at GOMAXPROCS size and replaced atomically by
+// SetDefaultWorkers.
+var defaultPool atomic.Pointer[Pool]
+
+// Default returns the shared pool, creating it on first use.
+func Default() *Pool {
+	if p := defaultPool.Load(); p != nil {
+		return p
+	}
+	p := New(runtime.GOMAXPROCS(0))
+	if defaultPool.CompareAndSwap(nil, p) {
+		return p
+	}
+	p.Close()
+	return defaultPool.Load()
+}
+
+// SetDefaultWorkers replaces the shared pool with one of the given size
+// (w <= 0 restores GOMAXPROCS) and returns the previous size. The swap is
+// atomic: concurrent kernels either use the old pool (whose in-flight
+// dispatches finish before its workers exit, falling back to inline execution
+// afterwards) or the new one. Intended for benchmarks sweeping shared-memory
+// parallelism; servers should size the pool once at startup.
+func SetDefaultWorkers(w int) int {
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	np := New(w)
+	old := defaultPool.Swap(np)
+	prev := runtime.GOMAXPROCS(0)
+	if old != nil {
+		prev = old.nw
+		old.Close()
+	}
+	return prev
+}
+
+// DefaultWorkers returns the shared pool's current size without creating it.
+func DefaultWorkers() int {
+	if p := defaultPool.Load(); p != nil {
+		return p.nw
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Global kernel counters (atomic, monotone). They make the serving-path wins
+// observable: the solve service snapshots them into /metrics.
+var (
+	countDispatch   atomic.Uint64 // pool dispatches (parallel fan-outs)
+	countInline     atomic.Uint64 // dispatches degraded to inline execution
+	countFusedGram  atomic.Uint64 // fused cache-blocked Gram calls
+	countFusedComb  atomic.Uint64 // fused block-combine calls (AddMul/Mul/MulVec*)
+	countFusedBasis atomic.Uint64 // fused SpMV+three-term+diag basis steps
+	countSpMV       atomic.Uint64 // pool-dispatched SpMV kernels
+)
+
+// CountFusedGram records one fused Gram invocation (called by vec).
+func CountFusedGram() { countFusedGram.Add(1) }
+
+// CountFusedCombine records one fused block-combine invocation.
+func CountFusedCombine() { countFusedComb.Add(1) }
+
+// CountFusedBasisStep records one fused MPK basis step (called by sparse).
+func CountFusedBasisStep() { countFusedBasis.Add(1) }
+
+// CountSpMV records one pool-dispatched SpMV (called by sparse).
+func CountSpMV() { countSpMV.Add(1) }
+
+// Stats is a snapshot of the engine's global counters.
+type Stats struct {
+	Workers         int    `json:"workers"`
+	Dispatches      uint64 `json:"dispatches"`
+	InlineRuns      uint64 `json:"inline_runs"`
+	FusedGramCalls  uint64 `json:"fused_gram_calls"`
+	FusedCombines   uint64 `json:"fused_combine_calls"`
+	FusedBasisSteps uint64 `json:"fused_basis_steps"`
+	SpMVDispatches  uint64 `json:"spmv_dispatches"`
+}
+
+// ReadStats snapshots the global counters and the default pool size.
+func ReadStats() Stats {
+	return Stats{
+		Workers:         DefaultWorkers(),
+		Dispatches:      countDispatch.Load(),
+		InlineRuns:      countInline.Load(),
+		FusedGramCalls:  countFusedGram.Load(),
+		FusedCombines:   countFusedComb.Load(),
+		FusedBasisSteps: countFusedBasis.Load(),
+		SpMVDispatches:  countSpMV.Load(),
+	}
+}

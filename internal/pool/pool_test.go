@@ -1,0 +1,140 @@
+package pool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRunCoversRangeExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		p := New(workers)
+		for _, n := range []int{1, 2, 5, 100, 1 << 12} {
+			hits := make([]int32, n)
+			var mu sync.Mutex
+			p.Run(n, func(part, lo, hi int) {
+				mu.Lock()
+				for i := lo; i < hi; i++ {
+					hits[i]++
+				}
+				mu.Unlock()
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d covered %d times", workers, n, i, h)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestDispatchStridedParts(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	const parts = 11
+	seen := make([]int32, parts)
+	var mu sync.Mutex
+	p.Dispatch(parts, func(t int) {
+		mu.Lock()
+		seen[t]++
+		mu.Unlock()
+	})
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("part %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestRunBoundsSkipsEmptyRanges(t *testing.T) {
+	p := New(3)
+	defer p.Close()
+	bounds := []int{0, 4, 4, 10}
+	var mu sync.Mutex
+	var total int
+	p.RunBounds(bounds, func(part, lo, hi int) {
+		if lo >= hi {
+			t.Errorf("empty range dispatched: part %d [%d,%d)", part, lo, hi)
+		}
+		mu.Lock()
+		total += hi - lo
+		mu.Unlock()
+	})
+	if total != 10 {
+		t.Fatalf("covered %d of 10 rows", total)
+	}
+}
+
+// TestClosedPoolRunsInline: dispatching on a closed pool must still produce
+// the full (identical) result, just sequentially.
+func TestClosedPoolRunsInline(t *testing.T) {
+	p := New(4)
+	p.Close()
+	n := 1000
+	sum := 0
+	p.Run(n, func(part, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum += i
+		}
+	})
+	if want := n * (n - 1) / 2; sum != want {
+		t.Fatalf("closed-pool run got %d, want %d", sum, want)
+	}
+	p.Close() // idempotent
+}
+
+// TestConcurrentDispatches: many goroutines sharing one pool must serialize
+// cleanly (run with -race in CI).
+func TestConcurrentDispatches(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				n := 256 + g
+				out := make([]float64, n)
+				p.Run(n, func(part, lo, hi int) {
+					for i := lo; i < hi; i++ {
+						out[i] = float64(i)
+					}
+				})
+				for i := range out {
+					if out[i] != float64(i) {
+						t.Errorf("g=%d rep=%d: out[%d]=%v", g, rep, i, out[i])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestSetDefaultWorkers(t *testing.T) {
+	prev := SetDefaultWorkers(3)
+	if got := DefaultWorkers(); got != 3 {
+		t.Fatalf("DefaultWorkers = %d after SetDefaultWorkers(3)", got)
+	}
+	if Default().Workers() != 3 {
+		t.Fatalf("Default pool has %d workers", Default().Workers())
+	}
+	SetDefaultWorkers(prev)
+}
+
+func TestStatsCounters(t *testing.T) {
+	before := ReadStats()
+	p := New(2)
+	defer p.Close()
+	p.Run(1<<10, func(part, lo, hi int) {})
+	CountFusedGram()
+	after := ReadStats()
+	if after.Dispatches <= before.Dispatches {
+		t.Fatal("dispatch counter did not advance")
+	}
+	if after.FusedGramCalls != before.FusedGramCalls+1 {
+		t.Fatal("fused gram counter did not advance")
+	}
+}

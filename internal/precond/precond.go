@@ -86,6 +86,11 @@ func NewJacobi(a *sparse.CSR) (*Jacobi, error) {
 // Apply computes dst = D⁻¹·src.
 func (p *Jacobi) Apply(dst, src []float64) { vec.HadamardInto(dst, p.invDiag, src) }
 
+// InvDiag returns the inverse diagonal D⁻¹ (a view, not a copy). It is the
+// capability the fused matrix-powers fast path keys on: a preconditioner
+// exposing InvDiag can be applied inside the SpMV row loop.
+func (p *Jacobi) InvDiag() []float64 { return p.invDiag }
+
 // Dim returns n.
 func (p *Jacobi) Dim() int { return len(p.invDiag) }
 

@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"spcg/internal/pool"
 )
 
 // histBounds are the latency bucket upper bounds in seconds. The quantile
@@ -155,6 +157,13 @@ type MetricsSnapshot struct {
 		PrecAppliesTotal int64 `json:"prec_applies_total"`
 	} `json:"solver"`
 
+	// Kernels exposes the shared worker-pool engine's counters (process-wide,
+	// not per-request): pool dispatches vs inline fallbacks, how often the
+	// fused Gram/combine/basis-step kernels ran, and the effective worker
+	// count — the observability hook for verifying fusion is engaged in
+	// production, not just in benchmarks.
+	Kernels pool.Stats `json:"kernels"`
+
 	Latency map[string]LatencySnapshot `json:"latency"`
 }
 
@@ -187,6 +196,7 @@ func (m *metrics) snapshot(start time.Time, cache *setupCache) MetricsSnapshot {
 	s.Solver.IterationsTotal = m.iterationsTotal
 	s.Solver.MVProductsTotal = m.mvProductsTotal
 	s.Solver.PrecAppliesTotal = m.precAppliesTotal
+	s.Kernels = pool.ReadStats()
 	s.Latency = map[string]LatencySnapshot{}
 	for method, h := range m.latency {
 		s.Latency[method] = LatencySnapshot{

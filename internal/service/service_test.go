@@ -10,6 +10,9 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"spcg/internal/pool"
+	"spcg/internal/sparse"
 )
 
 func postSolve(t *testing.T, url string, req SolveRequest) (int, JobStatus) {
@@ -166,6 +169,38 @@ func TestBatchingCoalesces(t *testing.T) {
 	}
 	if m.Batching.MaxBatch < 2 {
 		t.Errorf("max_batch = %d, want ≥ 2", m.Batching.MaxBatch)
+	}
+}
+
+// TestMetricsExposesKernelCounters: /metrics carries the kernel engine's
+// process-wide counters. Tiny solves legitimately stay below the parallel
+// thresholds, so the test drives one threshold-crossing SpMV directly and
+// checks the snapshot reflects it.
+func TestMetricsExposesKernelCounters(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 4})
+	defer shutdownServer(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	a := sparse.Poisson2D(200, 200) // nnz ≈ 2·10⁵, above the SpMV threshold
+	x := make([]float64, a.Dim())
+	y := make([]float64, a.Dim())
+	for i := range x {
+		x[i] = float64(i%7) - 3
+	}
+	a.MulVecPar(y, x)
+
+	m := getMetrics(t, ts.URL)
+	if m.Kernels.Workers < 1 {
+		t.Errorf("kernels.workers = %d, want ≥ 1", m.Kernels.Workers)
+	}
+	if pool.DefaultWorkers() > 1 {
+		if m.Kernels.SpMVDispatches == 0 {
+			t.Error("kernels.spmv_dispatches = 0 after a pool-dispatched SpMV")
+		}
+		if m.Kernels.Dispatches == 0 {
+			t.Error("kernels.dispatches = 0 after a pool-dispatched SpMV")
+		}
 	}
 }
 

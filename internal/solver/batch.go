@@ -90,6 +90,10 @@ func BatchPCG(a *sparse.CSR, m precond.Interface, bs *vec.Block, opts Options) (
 			remaining--
 		}
 	}
+	// Column views over the active subset, reused each iteration so the
+	// 2-D (columns × row-blocks) batched SpMV sees one contiguous block.
+	pAct := &vec.Block{N: n, Cols: make([][]float64, 0, k)}
+	sAct := &vec.Block{N: n, Cols: make([][]float64, 0, k)}
 	for i := 0; i < opts.MaxIterations && remaining > 0; i++ {
 		if opts.Cancel != nil {
 			select {
@@ -101,13 +105,18 @@ func BatchPCG(a *sparse.CSR, m precond.Interface, bs *vec.Block, opts Options) (
 				break
 			}
 		}
-		// Block SpMV over the active columns only: frozen columns cost nothing.
+		// Block SpMV over the active columns only: frozen columns cost
+		// nothing, and the active ones share one 2-D pool dispatch.
+		pAct.Cols = pAct.Cols[:0]
+		sAct.Cols = sAct.Cols[:0]
 		for j := 0; j < k; j++ {
 			if active[j] {
-				a.MulVecPar(s.Col(j), p.Col(j))
+				pAct.Cols = append(pAct.Cols, p.Col(j))
+				sAct.Cols = append(sAct.Cols, s.Col(j))
 				stats[j].MVProducts++
 			}
 		}
+		a.MulBlockPar(sAct, pAct)
 		for j := 0; j < k; j++ {
 			if !active[j] {
 				continue

@@ -1,0 +1,60 @@
+package solver
+
+import (
+	"testing"
+
+	"spcg/internal/fault"
+	"spcg/internal/pool"
+	"spcg/internal/precond"
+	"spcg/internal/sparse"
+)
+
+// TestSPCGTakesFusedBasisPath: with a Jacobi (diagonal) preconditioner and no
+// fault injector, the matrix powers kernel must run through the fused
+// SpMV + three-term + diag-apply fast path — and still converge to the same
+// accuracy as the Table 2 checks require.
+func TestSPCGTakesFusedBasisPath(t *testing.T) {
+	a := sparse.Poisson2D(20, 20)
+	b, xTrue := testProblem(a)
+	m, _ := precond.NewJacobi(a)
+
+	before := pool.ReadStats().FusedBasisSteps
+	x, st, err := SPCG(a, m, b, Options{S: 4, Tol: 1e-9, Criterion: RecursiveResidualMNorm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatalf("did not converge: %v", st.Breakdown)
+	}
+	if e := solutionError(x, xTrue); e > 1e-6 {
+		t.Fatalf("solution error %v with fused basis path", e)
+	}
+	after := pool.ReadStats().FusedBasisSteps
+	if after <= before {
+		t.Fatal("fused basis-step counter did not advance: fast path not taken")
+	}
+	// The fused path must charge the same operation counts the paper's
+	// Table 1 validates: s SpMVs per outer iteration (+1 initial residual).
+	wantMV := st.OuterIterations*4 + 1
+	if st.MVProducts != wantMV {
+		t.Fatalf("MVProducts = %d, want %d (fused path must charge like the unfused one)",
+			st.MVProducts, wantMV)
+	}
+}
+
+// TestFusedBasisPathDisabledByInjector: an installed fault injector must see
+// every raw SpMV output, so the fused path has to stand down.
+func TestFusedBasisPathDisabledByInjector(t *testing.T) {
+	a := sparse.Poisson2D(16, 16)
+	b, _ := testProblem(a)
+	m, _ := precond.NewJacobi(a)
+	inj := fault.New(1, fault.Config{}) // inert but installed
+	before := pool.ReadStats().FusedBasisSteps
+	_, _, err := SPCG(a, m, b, Options{S: 3, Tol: 1e-8, Injector: inj, Criterion: RecursiveResidualMNorm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := pool.ReadStats().FusedBasisSteps; after != before {
+		t.Fatal("fused basis path ran despite an installed fault injector")
+	}
+}

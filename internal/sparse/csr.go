@@ -19,6 +19,10 @@ type CSR struct {
 	RowPtr []int
 	ColIdx []int
 	Val    []float64
+
+	// parts caches nnz-balanced row partitions for the pool-dispatched
+	// kernels (see parallel.go). Lazily filled; never copied by value.
+	parts partsPointer
 }
 
 // NNZ returns the number of stored entries.

@@ -1,0 +1,128 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spcg/internal/vec"
+)
+
+// TestMulBlockParColumnExact pins the batched SpMV contract the solve
+// service's coalesced solves rely on: every column of MulBlockPar must be
+// bitwise identical to a per-column sequential MulVec, for column counts
+// below, at and above the pool's worker count (exercising the 2-D
+// columns × row-blocks grid) and on a matrix large enough to take the
+// parallel path.
+func TestMulBlockParColumnExact(t *testing.T) {
+	a := Poisson2D(96, 96) // nnz ≈ 45k > parSpMVThreshold
+	n := a.Dim()
+	rng := rand.New(rand.NewSource(42))
+	for _, s := range []int{1, 2, 3, 8, 17} {
+		x := vec.NewBlock(n, s)
+		for j := 0; j < s; j++ {
+			col := x.Col(j)
+			for i := range col {
+				col[i] = rng.NormFloat64()
+			}
+		}
+		got := vec.NewBlock(n, s)
+		a.MulBlockPar(got, x)
+		want := make([]float64, n)
+		for j := 0; j < s; j++ {
+			a.MulVec(want, x.Col(j))
+			for i := 0; i < n; i++ {
+				if got.Col(j)[i] != want[i] {
+					t.Fatalf("s=%d: column %d row %d: MulBlockPar %v != MulVec %v",
+						s, j, i, got.Col(j)[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestMulVecParMatchesMulVec: the pool-dispatched SpMV partitions rows only,
+// so it must be bitwise identical to the sequential kernel.
+func TestMulVecParMatchesMulVec(t *testing.T) {
+	a := VarCoeff2D(90, 90, 3, 11)
+	n := a.Dim()
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(float64(3*i + 1))
+	}
+	seq := make([]float64, n)
+	par := make([]float64, n)
+	a.MulVec(seq, x)
+	a.MulVecPar(par, x)
+	for i := range seq {
+		if par[i] != seq[i] {
+			t.Fatalf("row %d: MulVecPar %v != MulVec %v", i, par[i], seq[i])
+		}
+	}
+}
+
+// TestFusedBasisStepParMatchesUnfused checks the fused
+// SpMV + three-term + diagonal-apply kernel against the three separate
+// sweeps it replaces.
+func TestFusedBasisStepParMatchesUnfused(t *testing.T) {
+	a := Poisson2D(80, 80)
+	n := a.Dim()
+	rng := rand.New(rand.NewSource(5))
+	u := make([]float64, n)
+	sCur := make([]float64, n)
+	sPrev := make([]float64, n)
+	dinv := make([]float64, n)
+	for i := 0; i < n; i++ {
+		u[i] = rng.NormFloat64()
+		sCur[i] = rng.NormFloat64()
+		sPrev[i] = rng.NormFloat64()
+		dinv[i] = 0.1 + rng.Float64()
+	}
+	theta, mu, gamma := 1.7, -0.4, 2.3
+
+	z := make([]float64, n)
+	wantS := make([]float64, n)
+	wantU := make([]float64, n)
+	a.MulVec(z, u)
+	vec.Threeterm(wantS, z, theta, sCur, mu, sPrev, gamma)
+	vec.HadamardInto(wantU, dinv, wantS)
+
+	gotS := make([]float64, n)
+	gotU := make([]float64, n)
+	a.FusedBasisStepPar(gotS, u, sCur, sPrev, theta, mu, gamma, dinv, gotU)
+	for i := 0; i < n; i++ {
+		if d := math.Abs(gotS[i] - wantS[i]); d > 1e-14*(1+math.Abs(wantS[i])) {
+			t.Fatalf("sNext[%d]: fused %v vs unfused %v", i, gotS[i], wantS[i])
+		}
+		if d := math.Abs(gotU[i] - wantU[i]); d > 1e-14*(1+math.Abs(wantU[i])) {
+			t.Fatalf("uNext[%d]: fused %v vs unfused %v", i, gotU[i], wantU[i])
+		}
+	}
+
+	// First-step form: sPrev nil, no uNext.
+	vec.Threeterm(wantS, z, theta, sCur, 0, nil, gamma)
+	a.FusedBasisStepPar(gotS, u, sCur, nil, theta, 0, gamma, dinv, nil)
+	for i := 0; i < n; i++ {
+		if d := math.Abs(gotS[i] - wantS[i]); d > 1e-14*(1+math.Abs(wantS[i])) {
+			t.Fatalf("first-step sNext[%d]: fused %v vs unfused %v", i, gotS[i], wantS[i])
+		}
+	}
+}
+
+// TestBalancedRangesCached: repeated pool kernels on one matrix must reuse
+// the cached partition rather than recomputing the O(n) split per call.
+func TestBalancedRangesCached(t *testing.T) {
+	a := Poisson2D(64, 64)
+	b1 := a.balancedRanges(4)
+	b2 := a.balancedRanges(4)
+	if &b1[0] != &b2[0] {
+		t.Fatal("partition not cached for repeated worker count")
+	}
+	b3 := a.balancedRanges(7)
+	if len(b3) != 8 {
+		t.Fatalf("unexpected bounds length %d", len(b3))
+	}
+	if again := a.balancedRanges(4); &again[0] != &b1[0] {
+		t.Fatal("cache evicted an entry while under capacity")
+	}
+}

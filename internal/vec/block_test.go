@@ -151,12 +151,14 @@ func TestAddMulAgainstReference(t *testing.T) {
 			}
 		}
 	}
-	// Parallel variant must match.
+	// Parallel variant must match. The fused kernel groups columns four at a
+	// time, so its (fixed, deterministic) summation association differs from
+	// the sequential per-column Axpy sweep — compare to tolerance, not bits.
 	dst2 := NewBlock(n, sd)
 	ParAddMul(dst2, y, x, c)
 	for j := 0; j < sd; j++ {
 		for r := 0; r < n; r++ {
-			if dst2.Cols[j][r] != dst.Cols[j][r] {
+			if !almostEq(dst2.Cols[j][r], dst.Cols[j][r], 1e-12) {
 				t.Fatalf("ParAddMul differs at [%d][%d]", j, r)
 			}
 		}

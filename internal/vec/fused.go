@@ -1,0 +1,352 @@
+// Fused, cache-blocked block-vector kernels dispatched on the shared worker
+// pool (internal/pool). These are the shared-memory realization of the
+// paper's s-step argument: instead of s (or s²) separate n-length BLAS1
+// sweeps, each kernel makes one pass over its operands with row tiles sized
+// to stay cache-resident and 4-way column-grouped inner loops.
+//
+// Determinism: every kernel partitions rows by the pool's fixed chunking and
+// combines per-part accumulators in part order, so results are bitwise
+// reproducible for a fixed worker count (and identical whether a dispatch
+// runs parallel or inline).
+package vec
+
+import (
+	"fmt"
+
+	"spcg/internal/pool"
+)
+
+// gramTileBytes bounds the working set of one Gram tile: tile rows are chosen
+// so that one tile of X plus one tile of Y (~(sa+sb)·tile·8 bytes) fits
+// comfortably in L2, making the s×s accumulation a single memory pass.
+const gramTileBytes = 1 << 19
+
+// combineTileRows is the row-tile length for the fused combine kernels: the
+// destination tile (32 KB) stays L1/L2-resident across column groups, so dst
+// is streamed from memory once regardless of the column count.
+const combineTileRows = 1 << 12
+
+// gramTile returns the row-tile length for an sa×sb Gram accumulation.
+func gramTile(sa, sb int) int {
+	t := gramTileBytes / (8 * (sa + sb))
+	if t < 512 {
+		t = 512
+	}
+	if t > 1<<13 {
+		t = 1 << 13
+	}
+	return t
+}
+
+// GramFused computes the sᵃ×sᵇ matrix Xᵀ·Y (row-major, like Gram) in one
+// cache-blocked pass over X and Y, instead of Gram's sᵃ·sᵇ independent
+// n-length Dot streams. Rows are tiled so both operand tiles stay in L2;
+// each pool worker accumulates a private sᵃ×sᵇ block over its fixed row
+// chunk and the partials are reduced in part order.
+func GramFused(x, y *Block) []float64 {
+	if x.N != y.N {
+		panic("vec: GramFused row-count mismatch")
+	}
+	sa, sb := x.S(), y.S()
+	out := make([]float64, sa*sb)
+	if sa == 0 || sb == 0 || x.N == 0 {
+		return out
+	}
+	pool.CountFusedGram()
+	p := pool.Default()
+	n := x.N
+	if n*sa*sb < parallelThreshold || p.Workers() == 1 {
+		gramAccum(out, x, y, 0, n)
+		return out
+	}
+	parts := p.NumParts(n)
+	partials := make([]float64, parts*sa*sb)
+	p.Run(n, func(part, lo, hi int) {
+		gramAccum(partials[part*sa*sb:(part+1)*sa*sb], x, y, lo, hi)
+	})
+	for t := 0; t < parts; t++ {
+		acc := partials[t*sa*sb : (t+1)*sa*sb]
+		for i, v := range acc {
+			out[i] += v
+		}
+	}
+	return out
+}
+
+// gramAccum adds Xᵀ·Y over rows [lo,hi) into acc, tile by tile.
+func gramAccum(acc []float64, x, y *Block, lo, hi int) {
+	sa, sb := x.S(), y.S()
+	tile := gramTile(sa, sb)
+	for t := lo; t < hi; t += tile {
+		te := t + tile
+		if te > hi {
+			te = hi
+		}
+		for i := 0; i < sa; i++ {
+			xi := x.Cols[i][t:te]
+			row := acc[i*sb : (i+1)*sb]
+			for j := 0; j < sb; j++ {
+				row[j] += Dot(xi, y.Cols[j][t:te])
+			}
+		}
+	}
+}
+
+// GramVecFused computes Xᵀ·v with v's tiles kept cache-resident across the
+// block's columns (one memory pass over X and v).
+func GramVecFused(x *Block, v []float64) []float64 {
+	if len(v) != x.N {
+		panic("vec: GramVecFused length mismatch")
+	}
+	s := x.S()
+	out := make([]float64, s)
+	if s == 0 || x.N == 0 {
+		return out
+	}
+	pool.CountFusedGram()
+	p := pool.Default()
+	n := x.N
+	if n*s < parallelThreshold || p.Workers() == 1 {
+		gramVecAccum(out, x, v, 0, n)
+		return out
+	}
+	parts := p.NumParts(n)
+	partials := make([]float64, parts*s)
+	p.Run(n, func(part, lo, hi int) {
+		gramVecAccum(partials[part*s:(part+1)*s], x, v, lo, hi)
+	})
+	for t := 0; t < parts; t++ {
+		for i, pv := range partials[t*s : (t+1)*s] {
+			out[i] += pv
+		}
+	}
+	return out
+}
+
+func gramVecAccum(acc []float64, x *Block, v []float64, lo, hi int) {
+	tile := gramTile(x.S(), 1)
+	for t := lo; t < hi; t += tile {
+		te := t + tile
+		if te > hi {
+			te = hi
+		}
+		vt := v[t:te]
+		for i, col := range x.Cols {
+			acc[i] += Dot(col[t:te], vt)
+		}
+	}
+}
+
+// combineSpan computes, over the span d (rows [off, off+len(d)) of the
+// block), one destination sweep of a multi-column update:
+//
+//	base == nil: d (+)= Σ_i coef[i]·cols[i]   ("+=" when accumulate)
+//	base != nil: d  = base + Σ_i coef[i]·cols[i]
+//
+// Columns are processed in groups of four so the inner loop carries four
+// independent FMA streams while d stays register/cache resident.
+func combineSpan(d []float64, cols [][]float64, coef []float64, off int, base []float64, accumulate bool) {
+	n := len(d)
+	i := 0
+	if !accumulate {
+		switch {
+		case len(cols) == 0:
+			if base != nil {
+				copy(d, base)
+			} else {
+				Zero(d)
+			}
+			return
+		case base != nil:
+			x0 := cols[0][off : off+n]
+			c0 := coef[0]
+			for r := 0; r < n; r++ {
+				d[r] = base[r] + c0*x0[r]
+			}
+			i = 1
+		case len(cols) >= 2:
+			x0, x1 := cols[0][off:off+n], cols[1][off:off+n]
+			c0, c1 := coef[0], coef[1]
+			for r := 0; r < n; r++ {
+				d[r] = c0*x0[r] + c1*x1[r]
+			}
+			i = 2
+		default:
+			x0 := cols[0][off : off+n]
+			c0 := coef[0]
+			for r := 0; r < n; r++ {
+				d[r] = c0 * x0[r]
+			}
+			i = 1
+		}
+	}
+	for ; i+4 <= len(cols); i += 4 {
+		x0, x1 := cols[i][off:off+n], cols[i+1][off:off+n]
+		x2, x3 := cols[i+2][off:off+n], cols[i+3][off:off+n]
+		c0, c1, c2, c3 := coef[i], coef[i+1], coef[i+2], coef[i+3]
+		for r := 0; r < n; r++ {
+			d[r] += c0*x0[r] + c1*x1[r] + c2*x2[r] + c3*x3[r]
+		}
+	}
+	switch len(cols) - i {
+	case 3:
+		x0, x1, x2 := cols[i][off:off+n], cols[i+1][off:off+n], cols[i+2][off:off+n]
+		c0, c1, c2 := coef[i], coef[i+1], coef[i+2]
+		for r := 0; r < n; r++ {
+			d[r] += c0*x0[r] + c1*x1[r] + c2*x2[r]
+		}
+	case 2:
+		x0, x1 := cols[i][off:off+n], cols[i+1][off:off+n]
+		c0, c1 := coef[i], coef[i+1]
+		for r := 0; r < n; r++ {
+			d[r] += c0*x0[r] + c1*x1[r]
+		}
+	case 1:
+		x0 := cols[i][off : off+n]
+		c0 := coef[i]
+		for r := 0; r < n; r++ {
+			d[r] += c0 * x0[r]
+		}
+	}
+}
+
+// CombineFused computes dst = X·c (the tall-skinny GEMV of Block.MulVec) in
+// one destination sweep instead of s Axpy passes. dst must not alias a
+// column of the block.
+func (b *Block) CombineFused(dst []float64, c []float64) {
+	if len(c) != b.S() {
+		panic(fmt.Sprintf("vec: CombineFused coefficient length %d != %d columns", len(c), b.S()))
+	}
+	if len(dst) != b.N {
+		panic("vec: CombineFused dst length mismatch")
+	}
+	pool.CountFusedCombine()
+	p := pool.Default()
+	if b.N*(b.S()+1) < parallelThreshold || p.Workers() == 1 {
+		combineSpan(dst, b.Cols, c, 0, nil, false)
+		return
+	}
+	p.Run(b.N, func(part, lo, hi int) {
+		combineSpan(dst[lo:hi], b.Cols, c, lo, nil, false)
+	})
+}
+
+// AddScaledFused computes dst += alpha·(X·c) in one destination sweep
+// instead of s Axpy passes (alpha = ±1 covers the solvers' x += P·a and
+// r −= AP·a updates).
+func (b *Block) AddScaledFused(dst []float64, alpha float64, c []float64) {
+	if len(c) != b.S() {
+		panic("vec: AddScaledFused coefficient length mismatch")
+	}
+	if len(dst) != b.N {
+		panic("vec: AddScaledFused dst length mismatch")
+	}
+	coef := c
+	if alpha != 1 {
+		coef = make([]float64, len(c))
+		for i, v := range c {
+			coef[i] = alpha * v
+		}
+	}
+	pool.CountFusedCombine()
+	p := pool.Default()
+	if b.N*(b.S()+1) < parallelThreshold || p.Workers() == 1 {
+		combineSpan(dst, b.Cols, coef, 0, nil, true)
+		return
+	}
+	p.Run(b.N, func(part, lo, hi int) {
+		combineSpan(dst[lo:hi], b.Cols, coef, lo, nil, true)
+	})
+}
+
+// transposeCoef gathers C's column j (strided in the row-major sx×sd layout)
+// into contiguous per-destination coefficient rows: ct[j*sx+i] = c[i*sd+j].
+func transposeCoef(c []float64, sx, sd int) []float64 {
+	ct := make([]float64, len(c))
+	for j := 0; j < sd; j++ {
+		for i := 0; i < sx; i++ {
+			ct[j*sx+i] = c[i*sd+j]
+		}
+	}
+	return ct
+}
+
+// AddMulFused computes dst = Y + X·C (the BLAS3 search-direction update of
+// AddMul) with one destination sweep per column: rows are tiled so each dst
+// tile is written once while the column groups accumulate into it. dst must
+// not share columns with x; dst may equal y.
+func AddMulFused(dst, y, x *Block, c []float64) {
+	sx, sd := x.S(), dst.S()
+	if y.S() != sd || len(c) != sx*sd || y.N != x.N || dst.N != x.N {
+		panic("vec: AddMulFused shape mismatch")
+	}
+	if sd == 0 || dst.N == 0 {
+		return
+	}
+	pool.CountFusedCombine()
+	ct := transposeCoef(c, sx, sd)
+	p := pool.Default()
+	if dst.N*(sx+1) < parallelThreshold || p.Workers() == 1 {
+		addMulRange(dst, y, x, ct, 0, dst.N)
+		return
+	}
+	p.Run(dst.N, func(part, lo, hi int) {
+		addMulRange(dst, y, x, ct, lo, hi)
+	})
+}
+
+// addMulRange applies the fused update to rows [lo,hi), tile by tile.
+func addMulRange(dst, y, x *Block, ct []float64, lo, hi int) {
+	sx, sd := x.S(), dst.S()
+	for t := lo; t < hi; t += combineTileRows {
+		te := t + combineTileRows
+		if te > hi {
+			te = hi
+		}
+		for j := 0; j < sd; j++ {
+			d, yc := dst.Cols[j][t:te], y.Cols[j]
+			base := yc[t:te]
+			if &d[0] == &base[0] {
+				// dst aliases y: accumulate in place.
+				combineSpan(d, x.Cols, ct[j*sx:(j+1)*sx], t, nil, true)
+			} else {
+				combineSpan(d, x.Cols, ct[j*sx:(j+1)*sx], t, base, false)
+			}
+		}
+	}
+}
+
+// MulFused computes dst = X·C (AddMulFused with Y = 0): one destination
+// sweep per column instead of sx Axpy passes.
+func MulFused(dst, x *Block, c []float64) {
+	sx, sd := x.S(), dst.S()
+	if len(c) != sx*sd || dst.N != x.N {
+		panic("vec: MulFused shape mismatch")
+	}
+	if sd == 0 || dst.N == 0 {
+		return
+	}
+	pool.CountFusedCombine()
+	ct := transposeCoef(c, sx, sd)
+	p := pool.Default()
+	if dst.N*(sx+1) < parallelThreshold || p.Workers() == 1 {
+		mulRange(dst, x, ct, 0, dst.N)
+		return
+	}
+	p.Run(dst.N, func(part, lo, hi int) {
+		mulRange(dst, x, ct, lo, hi)
+	})
+}
+
+func mulRange(dst, x *Block, ct []float64, lo, hi int) {
+	sx, sd := x.S(), dst.S()
+	for t := lo; t < hi; t += combineTileRows {
+		te := t + combineTileRows
+		if te > hi {
+			te = hi
+		}
+		for j := 0; j < sd; j++ {
+			combineSpan(dst.Cols[j][t:te], x.Cols, ct[j*sx:(j+1)*sx], t, nil, false)
+		}
+	}
+}

@@ -1,119 +1,92 @@
 package vec
 
 import (
-	"runtime"
-	"sync"
+	"spcg/internal/pool"
 )
 
 // parallelThreshold is the minimum slice length at which the parallel kernel
-// variants fan out to goroutines; below it the sequential kernels win because
-// of spawn/synchronization overhead.
+// variants fan out to the worker pool; below it the sequential kernels win
+// because even a pooled dispatch costs a few channel operations.
 const parallelThreshold = 1 << 15
 
-// maxWorkers bounds goroutine fan-out for the parallel kernels.
-var maxWorkers = runtime.GOMAXPROCS(0)
-
-// SetMaxWorkers overrides the worker count used by the Par* kernels
+// SetMaxWorkers overrides the worker count used by the Par*/ *Fused kernels
 // (0 restores the GOMAXPROCS default). It returns the previous value.
-// Intended for benchmarks that sweep shared-memory parallelism.
+//
+// Concurrency contract: the setting lives in the shared pool engine
+// (pool.SetDefaultWorkers) and the swap is atomic — concurrent solves observe
+// either the old pool or the new one, never a torn size, and dispatches in
+// flight on the old pool complete before its workers exit. Kernel results are
+// bitwise reproducible for a fixed worker count, so services should size the
+// pool once at startup; benchmarks may resize between timed runs.
 func SetMaxWorkers(w int) int {
-	prev := maxWorkers
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
-	}
-	maxWorkers = w
-	return prev
+	return pool.SetDefaultWorkers(w)
 }
 
-// parallelFor splits [0,n) into at most maxWorkers contiguous chunks and runs
-// body(lo,hi) on each concurrently. body must only touch indexes in [lo,hi).
-func parallelFor(n int, body func(lo, hi int)) {
-	workers := maxWorkers
-	if n < parallelThreshold || workers <= 1 {
-		body(0, n)
-		return
-	}
-	if workers > n {
-		workers = n
-	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			body(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-}
-
-// ParDot is Dot with goroutine parallelism for large vectors. The partial
-// sums are combined in chunk order so the result is deterministic for a fixed
+// ParDot is Dot with pool parallelism for large vectors. The partial sums are
+// combined in fixed chunk order so the result is deterministic for a fixed
 // worker count.
 func ParDot(a, b []float64) float64 {
 	n := len(a)
 	if len(b) != n {
 		panic("vec: ParDot length mismatch")
 	}
-	if n < parallelThreshold || maxWorkers <= 1 {
+	p := pool.Default()
+	if n < parallelThreshold || p.Workers() == 1 {
 		return Dot(a, b)
 	}
-	workers := maxWorkers
-	if workers > n {
-		workers = n
-	}
-	chunk := (n + workers - 1) / workers
-	partials := make([]float64, (n+chunk-1)/chunk)
-	var wg sync.WaitGroup
-	for k, lo := 0, 0; lo < n; k, lo = k+1, lo+chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(k, lo, hi int) {
-			defer wg.Done()
-			partials[k] = Dot(a[lo:hi], b[lo:hi])
-		}(k, lo, hi)
-	}
-	wg.Wait()
+	partials := make([]float64, p.NumParts(n))
+	p.Run(n, func(part, lo, hi int) {
+		partials[part] = Dot(a[lo:hi], b[lo:hi])
+	})
 	var s float64
-	for _, p := range partials {
-		s += p
+	for _, v := range partials {
+		s += v
 	}
 	return s
 }
 
-// ParAxpy is Axpy with goroutine parallelism for large vectors.
+// ParDot2 computes aᵀb and cᵀd in one pooled dispatch (the fused two-dot
+// pattern of PCG's second reduction), deterministic like ParDot.
+func ParDot2(a, b, c, d []float64) (float64, float64) {
+	n := len(a)
+	if len(b) != n || len(c) != n || len(d) != n {
+		panic("vec: ParDot2 length mismatch")
+	}
+	p := pool.Default()
+	if n < parallelThreshold || p.Workers() == 1 {
+		return Dot(a, b), Dot(c, d)
+	}
+	parts := p.NumParts(n)
+	partials := make([]float64, 2*parts)
+	p.Run(n, func(part, lo, hi int) {
+		partials[2*part] = Dot(a[lo:hi], b[lo:hi])
+		partials[2*part+1] = Dot(c[lo:hi], d[lo:hi])
+	})
+	var s1, s2 float64
+	for t := 0; t < parts; t++ {
+		s1 += partials[2*t]
+		s2 += partials[2*t+1]
+	}
+	return s1, s2
+}
+
+// ParAxpy is Axpy with pool parallelism for large vectors.
 func ParAxpy(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic("vec: ParAxpy length mismatch")
 	}
-	parallelFor(len(x), func(lo, hi int) {
+	p := pool.Default()
+	if len(x) < parallelThreshold || p.Workers() == 1 {
+		Axpy(alpha, x, y)
+		return
+	}
+	p.Run(len(x), func(part, lo, hi int) {
 		Axpy(alpha, x[lo:hi], y[lo:hi])
 	})
 }
 
-// ParAddMul is AddMul with row-range goroutine parallelism.
+// ParAddMul is AddMul with row-range pool parallelism. It now delegates to
+// the fused single-sweep kernel; kept for API compatibility.
 func ParAddMul(dst, y, x *Block, c []float64) {
-	sx, sd := x.S(), dst.S()
-	if y.S() != sd || len(c) != sx*sd || y.N != x.N || dst.N != x.N {
-		panic("vec: ParAddMul shape mismatch")
-	}
-	parallelFor(x.N, func(lo, hi int) {
-		for j := 0; j < sd; j++ {
-			d, yc := dst.Cols[j][lo:hi], y.Cols[j][lo:hi]
-			if &d[0] != &yc[0] {
-				copy(d, yc)
-			}
-			for i := 0; i < sx; i++ {
-				Axpy(c[i*sd+j], x.Cols[i][lo:hi], d)
-			}
-		}
-	})
+	AddMulFused(dst, y, x, c)
 }

@@ -15,15 +15,28 @@ import (
 )
 
 // Dot returns the inner product aᵀb. Panics if lengths differ.
+//
+// The loop is 4-way unrolled with independent accumulators (combined in the
+// fixed order (s0+s1)+(s2+s3)), which breaks the FP dependency chain that
+// otherwise serializes the adds. The summation order differs from a plain
+// sequential loop but is itself fixed, so results stay deterministic.
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("vec: Dot length mismatch %d != %d", len(a), len(b)))
 	}
-	var s float64
-	for i, ai := range a {
-		s += ai * b[i]
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
 	}
-	return s
+	for ; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return (s0 + s1) + (s2 + s3)
 }
 
 // Norm2 returns the Euclidean norm ‖a‖₂ computed with scaling to avoid
@@ -59,13 +72,21 @@ func NormInf(a []float64) float64 {
 	return m
 }
 
-// Axpy computes y += alpha*x in place.
+// Axpy computes y += alpha*x in place (4-way unrolled).
 func Axpy(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("vec: Axpy length mismatch %d != %d", len(x), len(y)))
 	}
-	for i, xi := range x {
-		y[i] += alpha * xi
+	y = y[:len(x)]
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		y[i] += alpha * x[i]
+		y[i+1] += alpha * x[i+1]
+		y[i+2] += alpha * x[i+2]
+		y[i+3] += alpha * x[i+3]
+	}
+	for ; i < len(x); i++ {
+		y[i] += alpha * x[i]
 	}
 }
 
@@ -89,9 +110,16 @@ func XpayInto(dst, x []float64, alpha float64, y []float64) {
 	}
 }
 
-// Scale computes x *= alpha in place.
+// Scale computes x *= alpha in place (4-way unrolled).
 func Scale(alpha float64, x []float64) {
-	for i := range x {
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		x[i] *= alpha
+		x[i+1] *= alpha
+		x[i+2] *= alpha
+		x[i+3] *= alpha
+	}
+	for ; i < len(x); i++ {
 		x[i] *= alpha
 	}
 }

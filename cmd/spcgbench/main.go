@@ -7,6 +7,7 @@
 //	spcgbench ablation
 //	spcgbench faults [-dim 20] [-s 6]
 //	spcgbench kernels [-sizes 4096,65536,1048576] [-s 8] [-workersweep 1,2,4] [-reps 7] [-out BENCH_kernels.json]
+//	spcgbench trace  [-dim 24] [-s 10]
 //
 // Scale divides the paper's matrix sizes (1 = full size); see DESIGN.md for
 // the experiment-to-module index.
@@ -160,6 +161,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err == nil {
 			experiments.RenderFaults(stdout, res)
 		}
+	case "trace":
+		var rows []experiments.TraceRow
+		rows, err = experiments.RunTrace(cfg, *dim)
+		if err == nil {
+			experiments.RenderTrace(stdout, rows, cfg.S)
+			// Unlike table1 (informational), a trace mismatch fails the
+			// command: it doubles as the instrumentation regression check.
+			if err = experiments.ValidateTrace(rows, cfg.S); err == nil {
+				fmt.Fprintln(stdout, "validation: measured collectives match the Table 1 closed forms")
+			}
+		}
 	case "kernels":
 		var kcfg experiments.KernelsConfig
 		kcfg.Reps = *reps
@@ -200,7 +212,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 var knownCommands = map[string]bool{
 	"table1": true, "table2": true, "table3": true, "fig1": true,
 	"pipeline": true, "predict": true, "ablation": true, "faults": true,
-	"kernels": true,
+	"kernels": true, "trace": true,
 }
 
 // parseIntList parses "a,b,c" into positive ints; empty input returns nil
@@ -221,6 +233,6 @@ func parseIntList(s string) ([]int, error) {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, `usage: spcgbench <table1|table2|table3|fig1|ablation|predict|pipeline|faults|kernels> [flags]
+	fmt.Fprintln(w, `usage: spcgbench <table1|table2|table3|fig1|ablation|predict|pipeline|faults|kernels|trace> [flags]
 Run "spcgbench <cmd> -h" for per-command flags.`)
 }

@@ -2,10 +2,13 @@
 //
 //	spcgd [-addr :8097] [-workers N] [-queue 64] [-batch-window 2ms]
 //	      [-batch-max 8] [-cache-size 32] [-scale 100] [-timeout 120s]
+//	      [-pprof 127.0.0.1:6060]
 //
 // Endpoints: POST /solve, GET /jobs/{id}, POST /jobs/{id}/cancel,
-// GET /matrices, GET /metrics, GET /healthz. SIGINT/SIGTERM drain the queue
-// before exiting.
+// GET /matrices, GET /metrics (Prometheus text; ?format=json for the
+// structured view), GET /healthz. SIGINT/SIGTERM drain the queue before
+// exiting. -pprof serves net/http/pprof profiling endpoints on a separate
+// listener (off by default; bind it to loopback).
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux, served only when -pprof is set
 	"os"
 	"os/signal"
 	"syscall"
@@ -33,6 +37,7 @@ func main() {
 	scale := flag.Int("scale", 100, "divide suite matrix sizes by this factor")
 	timeout := flag.Duration("timeout", 120*time.Second, "default per-job deadline")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for queued work at shutdown")
+	pprofAddr := flag.String("pprof", "", "serve /debug/pprof on this address (empty = disabled)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "spcgd: unexpected arguments: %v\n", flag.Args())
@@ -49,6 +54,17 @@ func main() {
 		DefaultTimeout: *timeout,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	if *pprofAddr != "" {
+		go func() {
+			// DefaultServeMux carries only the pprof registrations (the
+			// service handler has its own mux), so this exposes nothing else.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("spcgd: pprof listener: %v", err)
+			}
+		}()
+		log.Printf("spcgd: pprof on http://%s/debug/pprof/", *pprofAddr)
+	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()

@@ -197,7 +197,7 @@ func doSolve(client *http.Client, addr string, req solveRequest) sample {
 }
 
 func fetchMetrics(client *http.Client, addr string) (json.RawMessage, error) {
-	resp, err := client.Get(addr + "/metrics")
+	resp, err := client.Get(addr + "/metrics?format=json")
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,10 @@
 package dist
 
-import "fmt"
+import (
+	"fmt"
+
+	"spcg/internal/obs"
+)
 
 // Counts aggregates the structural events of a solver run — the quantities
 // the paper's Table 1 reasons about.
@@ -54,6 +58,13 @@ type Tracker struct {
 	C      *Cluster
 	Time   float64
 	Counts Counts
+
+	// Obs, when non-nil, mirrors the tracker's halo-exchange events into a
+	// phase trace as counting spans (the solver wires it up from
+	// Options.Trace). Halo exchanges exist only in the distributed model —
+	// shared-memory runs move no halo bytes — so the tracker is the one
+	// component that can attribute them.
+	Obs *obs.Tracer
 
 	record bool
 	events []event
@@ -119,6 +130,7 @@ func (t *Tracker) SpMV() {
 	}
 	t.Counts.SpMVs++
 	t.Counts.HaloExchanges++
+	t.Obs.Count(obs.PhaseHalo, 1)
 	c := t.C
 	flops := 2 * float64(c.MaxNNZ)
 	bytes := 12*float64(c.MaxNNZ) + 16*float64(c.MaxRows)
@@ -138,6 +150,9 @@ func (t *Tracker) PrecApply(globalFlops float64, halos int) {
 	}
 	t.Counts.PrecApplies++
 	t.Counts.HaloExchanges += halos
+	if halos > 0 {
+		t.Obs.Count(obs.PhaseHalo, int64(halos))
+	}
 	share := t.C.MaxNNZShare()
 	flops := globalFlops * share
 	t.Time += t.C.Roofline(flops, 1.5*flops) + float64(halos)*t.C.HaloTime()
@@ -197,6 +212,7 @@ func (t *Tracker) Halo() {
 		return
 	}
 	t.Counts.HaloExchanges++
+	t.Obs.Count(obs.PhaseHalo, 1)
 	retries := t.drawRetries()
 	t.Time += t.C.HaloTime() + retryCost(t.C, retries)
 	if t.record {

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"spcg/internal/basis"
+	"spcg/internal/obs"
 	"spcg/internal/vec"
 )
 
@@ -46,6 +47,22 @@ type Preconditioner interface {
 // which case Compute falls back to the separate kernels. sPrev may be nil.
 type BasisStepper interface {
 	FusedBasisStep(sNext, u, sCur, sPrev []float64, theta, mu, gamma float64, uNext []float64) bool
+}
+
+// obsProvider is an optional capability of Operator: an instrumented wrapper
+// can expose its phase tracer so the kernel attributes its recurrence work
+// to the basis phase. A nil tracer (or an operator without the capability)
+// disables tracing at the cost of one branch per column.
+type obsProvider interface {
+	ObsTracer() *obs.Tracer
+}
+
+// TracerOf returns the operator's phase tracer when it offers one, else nil.
+func TracerOf(a Operator) *obs.Tracer {
+	if p, ok := a.(obsProvider); ok {
+		return p.ObsTracer()
+	}
+	return nil
 }
 
 // Compute fills S (n×(s+1)) with the basis of K_{s+1}(AM⁻¹, w) and U
@@ -85,6 +102,7 @@ func Compute(a Operator, m Preconditioner, params *basis.Params, w, u0 []float64
 	}
 
 	stepper, _ := a.(BasisStepper)
+	tracer := TracerOf(a) // nil-safe: basis-phase spans for the recurrence
 	z := make([]float64, n)
 	for l := 0; l < deg; l++ {
 		var prev []float64
@@ -105,7 +123,9 @@ func Compute(a Operator, m Preconditioner, params *basis.Params, w, u0 []float64
 		}
 		// z = A·M⁻¹·S_l = A·U_l.
 		a.MulVec(z, u.Col(l))
+		t0 := tracer.Begin()
 		vec.Threeterm(s.Col(l+1), z, params.Theta[l], s.Col(l), mu, prev, params.Gamma[l])
+		tracer.End(obs.PhaseBasis, t0)
 		if uNext != nil {
 			m.Apply(uNext, s.Col(l+1))
 		}

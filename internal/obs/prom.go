@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TextContentType is the Content-Type of the Prometheus text exposition
+// format version this package writes.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (# HELP / # TYPE headers, one sample line per series;
+// histograms expand to cumulative _bucket series plus _sum and _count).
+// Families are emitted in sorted name order and series in sorted label order,
+// so the output is deterministic — the golden test relies on that.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		sigs := append([]string(nil), f.order...)
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			s := f.series[sig]
+			if f.kind == KindHistogram {
+				writeHistogram(&b, f.name, sig, s)
+				continue
+			}
+			v := math.Float64frombits(s.bits.Load())
+			if s.read != nil {
+				v = s.read()
+			}
+			fmt.Fprintf(&b, "%s %s\n", sampleName(f.name, sig, ""), formatValue(v))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram expands one histogram series into cumulative buckets plus
+// the _sum and _count samples.
+func writeHistogram(b *strings.Builder, name, sig string, s *series) {
+	st := s.hist
+	if st == nil {
+		return
+	}
+	snap := (&Histogram{s}).Snapshot()
+	var cum int64
+	for i, c := range snap.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(snap.Bounds) {
+			le = formatValue(snap.Bounds[i])
+		}
+		fmt.Fprintf(b, "%s %d\n", sampleName(name+"_bucket", sig, `le="`+le+`"`), cum)
+	}
+	fmt.Fprintf(b, "%s %s\n", sampleName(name+"_sum", sig, ""), formatValue(snap.Sum))
+	fmt.Fprintf(b, "%s %d\n", sampleName(name+"_count", sig, ""), snap.Count)
+}
+
+// sampleName joins a metric name with its label signature and an optional
+// extra label (the histogram le).
+func sampleName(name, sig, extra string) string {
+	switch {
+	case sig == "" && extra == "":
+		return name
+	case sig == "":
+		return name + "{" + extra + "}"
+	case extra == "":
+		return name + "{" + sig + "}"
+	default:
+		return name + "{" + sig + "," + extra + "}"
+	}
+}
+
+// formatValue renders a float64 the way Prometheus clients expect: integral
+// values without an exponent or trailing zeros, everything else in %g.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

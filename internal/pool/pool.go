@@ -33,6 +33,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"spcg/internal/obs"
 )
 
 // Pool is a fixed-size set of persistent worker goroutines.
@@ -94,6 +96,9 @@ func (p *Pool) runParts(w int) {
 func (p *Pool) Dispatch(parts int, fn func(part int)) {
 	if parts <= 0 {
 		return
+	}
+	if t := obsTracer.Load(); t != nil {
+		t.Count(obs.PhaseDispatch, int64(parts))
 	}
 	if parts == 1 || p.nw == 1 {
 		countInline.Add(1)
@@ -243,6 +248,18 @@ func DefaultWorkers() int {
 	}
 	return runtime.GOMAXPROCS(0)
 }
+
+// obsTracer is the optional process-wide phase tracer: when attached, every
+// kernel dispatch (pooled or inline) emits one counting span carrying the
+// part count. Counting — not timing — because dispatch wall time is already
+// inside the dispatching kernel's own phase span.
+var obsTracer atomic.Pointer[obs.Tracer]
+
+// SetTracer attaches (or, with nil, detaches) the engine's dispatch tracer.
+// The pool is process-global, so this is a process-wide observability knob:
+// benchmarks and the trace subcommand attach a tracer around one solve;
+// servers leave it off.
+func SetTracer(t *obs.Tracer) { obsTracer.Store(t) }
 
 // Global kernel counters (atomic, monotone). They make the serving-path wins
 // observable: the solve service snapshots them into /metrics.

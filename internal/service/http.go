@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+
+	"spcg/internal/obs"
 )
 
 // Handler returns the service's HTTP mux:
@@ -13,7 +15,8 @@ import (
 //	GET  /jobs/{id}        — poll a job
 //	POST /jobs/{id}/cancel — cooperative cancellation
 //	GET  /matrices         — registered matrix names
-//	GET  /metrics          — serving counters (JSON)
+//	GET  /metrics          — serving counters: Prometheus text by default,
+//	                         the structured JSON view with ?format=json
 //	GET  /healthz          — liveness; 503 while draining
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -104,8 +107,13 @@ func (s *Server) handleMatrices(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string][]string{"matrices": s.Matrices()})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.Metrics())
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, s.Metrics())
+		return
+	}
+	w.Header().Set("Content-Type", obs.TextContentType)
+	s.Registry().WritePrometheus(w)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

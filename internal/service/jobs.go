@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"spcg/internal/obs"
 	"spcg/internal/solver"
 )
 
@@ -34,6 +35,7 @@ type SolveRequest struct {
 	TimeoutMS int     `json:"timeout_ms,omitempty"` // per-job deadline; 0 = server default
 	Async     bool    `json:"async,omitempty"`      // enqueue and return a job id immediately
 	NoBatch   bool    `json:"no_batch,omitempty"`   // opt out of same-matrix coalescing
+	Trace     bool    `json:"trace,omitempty"`      // return a per-phase breakdown (implies no_batch)
 }
 
 // SolveResult is the terminal payload of a job.
@@ -50,6 +52,9 @@ type SolveResult struct {
 	BatchSize       int     `json:"batch_size"` // columns in that block (1 = solo)
 	SolveMS         float64 `json:"solve_ms"`
 	XNorm           float64 `json:"x_norm"`
+	// Phases is the per-phase time/count breakdown of the solve, present
+	// when the request set "trace": true.
+	Phases []obs.PhaseStat `json:"phases,omitempty"`
 }
 
 // JobStatus is the JSON document served for one job.
@@ -207,6 +212,7 @@ func statsToResult(stats *solver.Stats, err error, batched bool, batchSize int, 
 		res.TrueRelResidual = stats.TrueRelResidual
 		res.MVProducts = stats.MVProducts
 		res.PrecApplies = stats.PrecApplies
+		res.Phases = stats.Phases
 		if stats.Breakdown != nil {
 			res.Breakdown = stats.Breakdown.Error()
 		}

@@ -1,121 +1,137 @@
 package service
 
 import (
-	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"spcg/internal/obs"
 	"spcg/internal/pool"
 )
 
-// histBounds are the latency bucket upper bounds in seconds. The quantile
-// estimate interpolates inside the winning bucket, which is accurate enough
-// for serving dashboards (the load generator computes exact percentiles from
-// its own samples).
+// histBounds are the request-latency bucket upper bounds in seconds. The
+// quantile estimate interpolates inside the winning bucket, which is accurate
+// enough for serving dashboards (the load generator computes exact
+// percentiles from its own samples).
 var histBounds = []float64{
 	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
 	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
 }
 
-// hist is a fixed-bucket latency histogram.
-type hist struct {
-	counts []int64 // len(histBounds)+1; last bucket is +Inf
-	count  int64
-	sum    float64
-	max    float64
-}
-
-func newHist() *hist { return &hist{counts: make([]int64, len(histBounds)+1)} }
-
-func (h *hist) observe(sec float64) {
-	i := sort.SearchFloat64s(histBounds, sec)
-	h.counts[i]++
-	h.count++
-	h.sum += sec
-	if sec > h.max {
-		h.max = sec
-	}
-}
-
-// quantile returns an estimate of the p-quantile (0 < p < 1) in seconds.
-func (h *hist) quantile(p float64) float64 {
-	if h.count == 0 {
-		return 0
-	}
-	target := int64(p * float64(h.count))
-	if target >= h.count {
-		target = h.count - 1
-	}
-	var cum int64
-	for i, c := range h.counts {
-		if cum+c > target {
-			lo := 0.0
-			if i > 0 {
-				lo = histBounds[i-1]
-			}
-			hi := h.max
-			if i < len(histBounds) {
-				hi = histBounds[i]
-			}
-			if hi < lo {
-				hi = lo
-			}
-			frac := 0.5
-			if c > 0 {
-				frac = (float64(target-cum) + 0.5) / float64(c)
-			}
-			return lo + frac*(hi-lo)
-		}
-		cum += c
-	}
-	return h.max
-}
-
-// metrics aggregates the serving counters exposed at /metrics. A single
-// mutex is enough: updates are a handful of integer ops per request.
+// metrics is the server's typed metric surface, built on obs.Registry so one
+// set of instruments feeds both exposition formats: Prometheus text (the
+// /metrics default) and the structured MetricsSnapshot JSON
+// (/metrics?format=json). Scrape-time funcs cover the values owned elsewhere
+// — uptime, setup-cache stats, the pool engine's kernel counters — so they
+// are never double-booked.
 type metrics struct {
-	mu sync.Mutex
+	reg *obs.Registry
 
-	requests  int64 // accepted solve submissions
-	rejected  int64 // refused at admission (queue full / shutting down)
-	completed int64 // finished with status done
-	failed    int64
-	cancelled int64
+	requests  *obs.Counter
+	rejected  *obs.Counter
+	completed *obs.Counter
+	failed    *obs.Counter
+	cancelled *obs.Counter
 
-	inFlight   int64 // jobs currently executing
-	queuedJobs int64 // jobs admitted but not yet finished executing
+	inFlight *obs.Gauge
+	// queued counts admitted-but-unfinished jobs; spcgd_queue_depth derives
+	// from it at scrape time (queued − in-flight, clamped at zero).
+	queued atomic.Int64
 
-	batchedRequests  int64 // jobs that ran inside a coalesced block solve (size ≥ 2)
-	blockSolves      int64 // batch executions with ≥ 2 columns
-	soloSolves       int64
-	maxBatch         int64
-	iterationsTotal  int64
-	mvProductsTotal  int64
-	precAppliesTotal int64
+	batchedRequests *obs.Counter
+	blockSolves     *obs.Counter
+	soloSolves      *obs.Counter
+	maxBatch        *obs.Gauge
 
-	latency map[string]*hist // per method
+	iterations  *obs.Counter
+	mvProducts  *obs.Counter
+	precApplies *obs.Counter
+
+	mu      sync.Mutex
+	latency map[string]*obs.Histogram // per solver method
 }
 
-func newMetrics() *metrics { return &metrics{latency: map[string]*hist{}} }
+func newMetrics(start time.Time, cache *setupCache) *metrics {
+	reg := obs.NewRegistry()
+	m := &metrics{reg: reg, latency: map[string]*obs.Histogram{}}
 
+	m.requests = reg.Counter("spcgd_requests_total", "Accepted solve submissions.")
+	m.rejected = reg.Counter("spcgd_rejected_total", "Submissions refused at admission (queue full or shutting down).")
+	m.completed = reg.Counter("spcgd_completed_total", "Jobs finished with status done.")
+	m.failed = reg.Counter("spcgd_failed_total", "Jobs finished with status failed.")
+	m.cancelled = reg.Counter("spcgd_cancelled_total", "Jobs finished with status cancelled.")
+
+	m.inFlight = reg.Gauge("spcgd_in_flight", "Jobs currently executing on the worker pool.")
+	reg.GaugeFunc("spcgd_queue_depth", "Admitted jobs waiting for a worker (queued minus in-flight).",
+		func() float64 {
+			d := float64(m.queued.Load()) - m.inFlight.Value()
+			if d < 0 {
+				d = 0
+			}
+			return d
+		})
+	reg.GaugeFunc("spcgd_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(start).Seconds() })
+
+	reg.CounterFunc("spcgd_setup_cache_hits_total", "Setup-cache lookups that reused a cached preconditioner/spectrum entry.",
+		func() float64 { h, _, _ := cache.stats(); return float64(h) })
+	reg.CounterFunc("spcgd_setup_cache_misses_total", "Setup-cache lookups that had to build a fresh entry.",
+		func() float64 { _, mi, _ := cache.stats(); return float64(mi) })
+	reg.GaugeFunc("spcgd_setup_cache_entries", "Entries currently resident in the setup cache.",
+		func() float64 { _, _, e := cache.stats(); return float64(e) })
+	reg.GaugeFunc("spcgd_setup_cache_hit_ratio", "Fraction of setup-cache lookups served from cache.",
+		func() float64 {
+			h, mi, _ := cache.stats()
+			if h+mi == 0 {
+				return 0
+			}
+			return float64(h) / float64(h+mi)
+		})
+
+	m.batchedRequests = reg.Counter("spcgd_batched_requests_total", "Jobs that ran inside a coalesced block solve (batch size >= 2).")
+	m.blockSolves = reg.Counter("spcgd_block_solves_total", "Coalesced multi-RHS block solves executed.")
+	m.soloSolves = reg.Counter("spcgd_solo_solves_total", "Jobs solved individually (not coalesced).")
+	m.maxBatch = reg.Gauge("spcgd_batch_size_max", "Largest coalesced batch observed since start.")
+
+	m.iterations = reg.Counter("spcgd_solver_iterations_total", "Solver iterations summed over all jobs.")
+	m.mvProducts = reg.Counter("spcgd_solver_mv_products_total", "Sparse matrix-vector products summed over all jobs.")
+	m.precApplies = reg.Counter("spcgd_solver_prec_applies_total", "Preconditioner applications summed over all jobs.")
+
+	// The pool engine owns its kernel counters (process-wide atomics); expose
+	// them read-through so /metrics shows whether fusion is engaged in
+	// production, not just in benchmarks.
+	reg.CounterFunc("spcgd_kernel_dispatches_total", "Worker-pool parallel kernel dispatches.",
+		func() float64 { return float64(pool.ReadStats().Dispatches) })
+	reg.CounterFunc("spcgd_kernel_inline_runs_total", "Kernel dispatches degraded to inline execution.",
+		func() float64 { return float64(pool.ReadStats().InlineRuns) })
+	reg.CounterFunc("spcgd_kernel_fused_gram_total", "Fused cache-blocked Gram kernel invocations.",
+		func() float64 { return float64(pool.ReadStats().FusedGramCalls) })
+	reg.CounterFunc("spcgd_kernel_fused_combine_total", "Fused block-combine kernel invocations.",
+		func() float64 { return float64(pool.ReadStats().FusedCombines) })
+	reg.CounterFunc("spcgd_kernel_fused_basis_steps_total", "Fused SpMV+three-term+diag basis steps.",
+		func() float64 { return float64(pool.ReadStats().FusedBasisSteps) })
+	reg.CounterFunc("spcgd_kernel_spmv_dispatches_total", "Pool-dispatched SpMV kernels.",
+		func() float64 { return float64(pool.ReadStats().SpMVDispatches) })
+	reg.GaugeFunc("spcgd_kernel_workers", "Shared kernel pool worker count.",
+		func() float64 { return float64(pool.DefaultWorkers()) })
+
+	return m
+}
+
+// observe records one request latency under its solver method label.
 func (m *metrics) observe(method string, d time.Duration) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	h := m.latency[method]
 	if h == nil {
-		h = newHist()
+		h = m.reg.Histogram("spcgd_request_duration_seconds",
+			"End-to-end solve latency by solver method.", histBounds, obs.L("method", method))
 		m.latency[method] = h
 	}
-	h.observe(d.Seconds())
-}
-
-func (m *metrics) add(f func(*metrics)) {
-	m.mu.Lock()
-	f(m)
 	m.mu.Unlock()
+	h.Observe(d.Seconds())
 }
 
-// LatencySnapshot is the per-method latency summary in /metrics.
+// LatencySnapshot is the per-method latency summary in the JSON /metrics view.
 type LatencySnapshot struct {
 	Count  int64   `json:"count"`
 	MeanMS float64 `json:"mean_ms"`
@@ -125,7 +141,8 @@ type LatencySnapshot struct {
 	MaxMS  float64 `json:"max_ms"`
 }
 
-// MetricsSnapshot is the JSON document served at /metrics.
+// MetricsSnapshot is the JSON document served at /metrics?format=json. It is
+// a structured view over the same registry the Prometheus exposition reads.
 type MetricsSnapshot struct {
 	UptimeS    float64 `json:"uptime_s"`
 	QueueDepth int64   `json:"queue_depth"`
@@ -168,20 +185,18 @@ type MetricsSnapshot struct {
 }
 
 func (m *metrics) snapshot(start time.Time, cache *setupCache) MetricsSnapshot {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	var s MetricsSnapshot
 	s.UptimeS = time.Since(start).Seconds()
-	s.QueueDepth = m.queuedJobs - m.inFlight
+	s.InFlight = int64(m.inFlight.Value())
+	s.QueueDepth = m.queued.Load() - s.InFlight
 	if s.QueueDepth < 0 {
 		s.QueueDepth = 0
 	}
-	s.InFlight = m.inFlight
-	s.RequestsTotal = m.requests
-	s.Rejected = m.rejected
-	s.Completed = m.completed
-	s.Failed = m.failed
-	s.Cancelled = m.cancelled
+	s.RequestsTotal = m.requests.Value()
+	s.Rejected = m.rejected.Value()
+	s.Completed = m.completed.Value()
+	s.Failed = m.failed.Value()
+	s.Cancelled = m.cancelled.Value()
 	hits, misses, entries := cache.stats()
 	s.SetupCache.Hits = hits
 	s.SetupCache.Misses = misses
@@ -189,31 +204,31 @@ func (m *metrics) snapshot(start time.Time, cache *setupCache) MetricsSnapshot {
 		s.SetupCache.HitRate = float64(hits) / float64(hits+misses)
 	}
 	s.SetupCache.Entries = entries
-	s.Batching.BatchedRequests = m.batchedRequests
-	s.Batching.BlockSolves = m.blockSolves
-	s.Batching.SoloSolves = m.soloSolves
-	s.Batching.MaxBatch = m.maxBatch
-	s.Solver.IterationsTotal = m.iterationsTotal
-	s.Solver.MVProductsTotal = m.mvProductsTotal
-	s.Solver.PrecAppliesTotal = m.precAppliesTotal
+	s.Batching.BatchedRequests = m.batchedRequests.Value()
+	s.Batching.BlockSolves = m.blockSolves.Value()
+	s.Batching.SoloSolves = m.soloSolves.Value()
+	s.Batching.MaxBatch = int64(m.maxBatch.Value())
+	s.Solver.IterationsTotal = m.iterations.Value()
+	s.Solver.MVProductsTotal = m.mvProducts.Value()
+	s.Solver.PrecAppliesTotal = m.precApplies.Value()
 	s.Kernels = pool.ReadStats()
 	s.Latency = map[string]LatencySnapshot{}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	for method, h := range m.latency {
+		hs := h.Snapshot()
+		count := hs.Count
+		if count < 1 {
+			count = 1
+		}
 		s.Latency[method] = LatencySnapshot{
-			Count:  h.count,
-			MeanMS: 1000 * h.sum / float64(max64(h.count, 1)),
-			P50MS:  1000 * h.quantile(0.50),
-			P95MS:  1000 * h.quantile(0.95),
-			P99MS:  1000 * h.quantile(0.99),
-			MaxMS:  1000 * h.max,
+			Count:  hs.Count,
+			MeanMS: 1000 * hs.Sum / float64(count),
+			P50MS:  1000 * hs.Quantile(0.50),
+			P95MS:  1000 * hs.Quantile(0.95),
+			P99MS:  1000 * hs.Quantile(0.99),
+			MaxMS:  1000 * hs.Max,
 		}
 	}
 	return s
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

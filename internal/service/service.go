@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"spcg/internal/basis"
+	"spcg/internal/obs"
 	"spcg/internal/precond"
 	"spcg/internal/solver"
 	"spcg/internal/sparse"
@@ -173,13 +174,15 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
+	start := time.Now()
+	cache := newSetupCache(cfg.CacheSize)
 	s := &Server{
 		cfg:        cfg,
 		reg:        newRegistry(cfg.Scale, cfg.MaxMatrixDim),
-		cache:      newSetupCache(cfg.CacheSize),
+		cache:      cache,
 		jobs:       newJobStore(cfg.MaxDoneJobs),
-		met:        newMetrics(),
-		start:      time.Now(),
+		met:        newMetrics(start, cache),
+		start:      start,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		// Admission caps outstanding jobs at QueueDepth and a work item never
@@ -239,24 +242,27 @@ func (s *Server) Submit(req SolveRequest) (*job, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		s.met.add(func(m *metrics) { m.rejected++ })
+		s.met.rejected.Inc()
 		return nil, ErrShuttingDown
 	}
 	if s.admitted >= s.cfg.QueueDepth {
 		s.mu.Unlock()
-		s.met.add(func(m *metrics) { m.rejected++ })
+		s.met.rejected.Inc()
 		return nil, ErrQueueFull
 	}
 	s.admitted++
 	j := s.jobs.newJob(req, s.baseCtx, timeout)
-	if req.Method == "pcg" && !req.NoBatch && s.cfg.BatchMax > 1 {
+	// Traced requests opt out of coalescing: a block solve would share one
+	// phase breakdown across unrelated submitters.
+	if req.Method == "pcg" && !req.NoBatch && !req.Trace && s.cfg.BatchMax > 1 {
 		s.enqueueBatchedLocked(j)
 	} else {
 		s.queue <- &workItem{jobs: []*job{j}}
 	}
 	s.mu.Unlock()
 
-	s.met.add(func(m *metrics) { m.requests++; m.queuedJobs++ })
+	s.met.requests.Inc()
+	s.met.queued.Add(1)
 	return j, nil
 }
 
@@ -305,8 +311,12 @@ func (s *Server) Job(id string) *job { return s.jobs.get(id) }
 // Matrices lists the registered matrix names.
 func (s *Server) Matrices() []string { return s.reg.names() }
 
-// Metrics returns the current serving counters.
+// Metrics returns the current serving counters as the structured JSON view.
 func (s *Server) Metrics() MetricsSnapshot { return s.met.snapshot(s.start, s.cache) }
+
+// Registry exposes the server's metric registry (Prometheus exposition and
+// the docs-coverage check read it).
+func (s *Server) Registry() *obs.Registry { return s.met.reg }
 
 // Draining reports whether Shutdown has begun (used by /healthz).
 func (s *Server) Draining() bool {
@@ -363,9 +373,9 @@ func (s *Server) run(item *workItem) {
 	for _, j := range item.jobs {
 		j.setRunning(now)
 	}
-	n := int64(len(item.jobs))
-	s.met.add(func(m *metrics) { m.inFlight += n })
-	defer s.met.add(func(m *metrics) { m.inFlight -= n })
+	n := float64(len(item.jobs))
+	s.met.inFlight.Add(n)
+	defer s.met.inFlight.Add(-n)
 
 	// Drop members whose deadline or cancel fired while queued.
 	live := item.jobs[:0]
@@ -416,6 +426,9 @@ func (s *Server) runSolo(j *job, a *sparse.CSR, m precond.Interface, entry *setu
 	req := j.req
 	solve := methodTable()[req.Method]
 	opts := optsFromReq(req, j.ctx.Done())
+	if req.Trace {
+		opts.Trace = obs.New(0) // per-job tracer; Stats.Phases flows to the result
+	}
 	if needsSpectrum[req.Method] && opts.Basis != basis.Monomial {
 		sVal := opts.S
 		if sVal <= 0 {
@@ -483,11 +496,9 @@ func (s *Server) runBatch(members []*job, a *sparse.CSR, m precond.Interface) {
 		s.failAll(members, err)
 		return
 	}
-	s.met.add(func(mm *metrics) {
-		mm.blockSolves++
-		mm.batchedRequests += int64(k)
-		mm.maxBatch = max64(mm.maxBatch, int64(k))
-	})
+	s.met.blockSolves.Inc()
+	s.met.batchedRequests.Add(int64(k))
+	s.met.maxBatch.SetMax(float64(k))
 	for i, j := range members {
 		if j.status().State != JobRunning {
 			continue // already failed above on a bad RHS
@@ -517,16 +528,14 @@ func (s *Server) runBatch(members []*job, a *sparse.CSR, m precond.Interface) {
 
 // recordSolve accumulates solver-side counters into the metrics.
 func (s *Server) recordSolve(st *solver.Stats, solo bool) {
-	s.met.add(func(m *metrics) {
-		if solo {
-			m.soloSolves++
-		}
-		if st != nil {
-			m.iterationsTotal += int64(st.Iterations)
-			m.mvProductsTotal += int64(st.MVProducts)
-			m.precAppliesTotal += int64(st.PrecApplies)
-		}
-	})
+	if solo {
+		s.met.soloSolves.Inc()
+	}
+	if st != nil {
+		s.met.iterations.Add(int64(st.Iterations))
+		s.met.mvProducts.Add(int64(st.MVProducts))
+		s.met.precApplies.Add(int64(st.PrecApplies))
+	}
 }
 
 // finishJob finalizes a job exactly once and releases its admission slot.
@@ -538,17 +547,15 @@ func (s *Server) finishJob(j *job, state JobState, res *SolveResult) {
 	s.mu.Lock()
 	s.admitted--
 	s.mu.Unlock()
-	s.met.add(func(m *metrics) {
-		m.queuedJobs--
-		switch state {
-		case JobDone:
-			m.completed++
-		case JobFailed:
-			m.failed++
-		case JobCancelled:
-			m.cancelled++
-		}
-	})
+	s.met.queued.Add(-1)
+	switch state {
+	case JobDone:
+		s.met.completed.Inc()
+	case JobFailed:
+		s.met.failed.Inc()
+	case JobCancelled:
+		s.met.cancelled.Inc()
+	}
 }
 
 func isCancelled(err error) bool { return errors.Is(err, solver.ErrCancelled) }

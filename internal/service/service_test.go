@@ -35,7 +35,7 @@ func postSolve(t *testing.T, url string, req SolveRequest) (int, JobStatus) {
 
 func getMetrics(t *testing.T, url string) MetricsSnapshot {
 	t.Helper()
-	resp, err := http.Get(url + "/metrics")
+	resp, err := http.Get(url + "/metrics?format=json")
 	if err != nil {
 		t.Fatal(err)
 	}

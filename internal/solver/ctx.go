@@ -6,6 +6,7 @@ import (
 
 	"spcg/internal/dist"
 	"spcg/internal/fault"
+	"spcg/internal/obs"
 	"spcg/internal/precond"
 	"spcg/internal/sparse"
 	"spcg/internal/vec"
@@ -18,6 +19,7 @@ type ctx struct {
 	a       *sparse.CSR
 	m       precond.Interface
 	tr      *dist.Tracker
+	obs     *obs.Tracer     // nil-safe: phase spans when tracing is enabled
 	inj     *fault.Injector // nil-safe: corrupts SpMV outputs when configured
 	n       int
 	stats   *Stats
@@ -36,7 +38,12 @@ func newCtx(a *sparse.CSR, m precond.Interface, opts *Options, stats *Stats) (*c
 	if m.Dim() != n {
 		return nil, fmt.Errorf("%w: matrix n=%d, preconditioner n=%d", ErrDimension, n, m.Dim())
 	}
-	return &ctx{a: a, m: m, tr: opts.Tracker, inj: opts.Injector, n: n, stats: stats, f32Gram: opts.Float32Gram, cancel: opts.Cancel}, nil
+	// Mirror the tracker's halo-exchange events into the trace so the
+	// breakdown covers the modeled communication structure too.
+	if opts.Tracker != nil && opts.Trace != nil {
+		opts.Tracker.Obs = opts.Trace
+	}
+	return &ctx{a: a, m: m, tr: opts.Tracker, obs: opts.Trace, inj: opts.Injector, n: n, stats: stats, f32Gram: opts.Float32Gram, cancel: opts.Cancel}, nil
 }
 
 // cancelled polls Options.Cancel without blocking. Solvers call it once per
@@ -57,7 +64,9 @@ func (c *ctx) cancelled() bool {
 // fault injector may silently corrupt the output — the soft-error model the
 // detection/recovery machinery defends against.
 func (c *ctx) spmv(dst, src []float64) {
+	t0 := c.obs.Begin()
 	c.a.MulVecPar(dst, src)
+	c.obs.End(obs.PhaseSpMV, t0)
 	c.inj.CorruptSpMV(dst)
 	c.tr.SpMV()
 	c.stats.MVProducts++
@@ -65,7 +74,9 @@ func (c *ctx) spmv(dst, src []float64) {
 
 // applyM computes dst = M⁻¹·src, charging one preconditioner application.
 func (c *ctx) applyM(dst, src []float64) {
+	t0 := c.obs.Begin()
 	c.m.Apply(dst, src)
+	c.obs.End(obs.PhasePrec, t0)
 	c.tr.PrecApply(c.m.Flops(), c.m.HaloExchanges())
 	c.stats.PrecApplies++
 }
@@ -78,6 +89,11 @@ type mpkOp struct{ c *ctx }
 
 func (o mpkOp) Dim() int                  { return o.c.n }
 func (o mpkOp) MulVec(dst, src []float64) { o.c.spmv(dst, src) }
+
+// ObsTracer exposes the solve's phase tracer to the matrix powers kernel
+// (mpk.TracerOf) so the three-term recurrence combines are attributed to the
+// basis phase. Nil when tracing is disabled.
+func (o mpkOp) ObsTracer() *obs.Tracer { return o.c.obs }
 
 // invDiagger is the preconditioner capability the fused MPK path needs.
 type invDiagger interface{ InvDiag() []float64 }
@@ -97,7 +113,9 @@ func (o mpkOp) FusedBasisStep(sNext, u, sCur, sPrev []float64, theta, mu, gamma 
 	if !ok {
 		return false
 	}
+	t0 := c.obs.Begin()
 	c.a.FusedBasisStepPar(sNext, u, sCur, sPrev, theta, mu, gamma, jd.InvDiag(), uNext)
+	c.obs.End(obs.PhaseBasis, t0)
 	c.tr.SpMV()
 	c.stats.MVProducts++
 	if uNext != nil {
@@ -116,6 +134,7 @@ func (p mpkPrec) Apply(dst, src []float64) { p.c.applyM(dst, src) }
 // themselves were already computed locally by gram/dot helpers).
 func (c *ctx) allreduce(values int) {
 	c.tr.Allreduce(values)
+	c.obs.Count(obs.PhaseCollective, int64(values))
 	c.stats.Allreduces++
 	c.stats.AllreduceValues += values
 }
@@ -123,7 +142,9 @@ func (c *ctx) allreduce(values int) {
 // dot computes one globally reduced inner product (PCG-style: its own
 // allreduce). The local part runs on the worker pool for large n.
 func (c *ctx) dot(a, b []float64) float64 {
+	t0 := c.obs.Begin()
 	v := vec.ParDot(a, b)
+	c.obs.End(obs.PhaseGram, t0)
 	c.tr.ReduceLocal(2*float64(c.n), 16*float64(c.n))
 	c.allreduce(1)
 	return v
@@ -132,11 +153,13 @@ func (c *ctx) dot(a, b []float64) float64 {
 // fusedDots computes k inner products whose locals are fused into a single
 // allreduce of k values (the 3-term and s-step solvers' pattern).
 func (c *ctx) fusedDots(pairs ...[2][]float64) []float64 {
+	t0 := c.obs.Begin()
 	out := make([]float64, len(pairs))
 	for i, p := range pairs {
 		out[i] = vec.ParDot(p[0], p[1])
 		c.tr.ReduceLocal(2*float64(c.n), 16*float64(c.n))
 	}
+	c.obs.End(obs.PhaseGram, t0)
 	c.allreduce(len(pairs))
 	return out
 }
@@ -145,7 +168,10 @@ func (c *ctx) fusedDots(pairs ...[2][]float64) []float64 {
 // NOT allreduced — callers fuse it into a larger collective themselves.
 func (c *ctx) localDot(a, b []float64) float64 {
 	c.tr.ReduceLocal(2*float64(c.n), 16*float64(c.n))
-	return vec.ParDot(a, b)
+	t0 := c.obs.Begin()
+	v := vec.ParDot(a, b)
+	c.obs.End(obs.PhaseGram, t0)
+	return v
 }
 
 // gramLocal computes Xᵀ·Y locally with the fused cache-blocked kernel,
@@ -154,66 +180,88 @@ func (c *ctx) gramLocal(x, y *vec.Block) []float64 {
 	sa, sb := x.S(), y.S()
 	flops := 2 * float64(sa) * float64(sb) * float64(c.n)
 	bytes := 8 * float64(c.n) * float64(sa+sb) // blocked: stream each operand once
+	t0 := c.obs.Begin()
 	if c.f32Gram {
 		c.tr.ReduceLocal(flops, bytes/2)
-		return vec.GramF32(x, y)
+		g := vec.GramF32(x, y)
+		c.obs.End(obs.PhaseGram, t0)
+		return g
 	}
 	c.tr.ReduceLocal(flops, bytes)
-	return vec.GramFused(x, y)
+	g := vec.GramFused(x, y)
+	c.obs.End(obs.PhaseGram, t0)
+	return g
 }
 
 // gramVecLocal computes Xᵀ·v locally.
 func (c *ctx) gramVecLocal(x *vec.Block, v []float64) []float64 {
 	s := x.S()
 	c.tr.ReduceLocal(2*float64(s)*float64(c.n), 8*float64(c.n)*float64(s+1))
-	return vec.GramVecFused(x, v)
+	t0 := c.obs.Begin()
+	g := vec.GramVecFused(x, v)
+	c.obs.End(obs.PhaseGram, t0)
+	return g
 }
 
 // axpy charges y += α·x.
 func (c *ctx) axpy(alpha float64, x, y []float64) {
+	t0 := c.obs.Begin()
 	vec.Axpy(alpha, x, y)
+	c.obs.End(obs.PhaseVector, t0)
 	c.tr.VectorOp(2*float64(c.n), 24*float64(c.n))
 }
 
 // xpay charges dst = x + α·y.
 func (c *ctx) xpay(dst, x []float64, alpha float64, y []float64) {
+	t0 := c.obs.Begin()
 	vec.XpayInto(dst, x, alpha, y)
+	c.obs.End(obs.PhaseVector, t0)
 	c.tr.VectorOp(2*float64(c.n), 24*float64(c.n))
 }
 
 // threeTermUpdate charges dst = ρ(x − γ·y) + (1−ρ)·w, the BLAS1 pattern of
 // PCG3/CA-PCG3 (4 flops per row, 4 streams).
 func (c *ctx) threeTermUpdate(dst []float64, rho float64, x []float64, gamma float64, y, w []float64) {
+	t0 := c.obs.Begin()
 	for i := range dst {
 		dst[i] = rho*(x[i]-gamma*y[i]) + (1-rho)*w[i]
 	}
+	c.obs.End(obs.PhaseVector, t0)
 	c.tr.VectorOp(4*float64(c.n), 32*float64(c.n))
 }
 
 // blockMulVec charges dst = X·coef (one fused destination sweep).
 func (c *ctx) blockMulVec(dst []float64, x *vec.Block, coef []float64) {
+	t0 := c.obs.Begin()
 	x.CombineFused(dst, coef)
+	c.obs.End(obs.PhaseBlockUpdate, t0)
 	s := float64(x.S())
 	c.tr.VectorOp(2*s*float64(c.n), 8*float64(c.n)*(s+1))
 }
 
 // blockMulVecAdd charges dst += X·coef.
 func (c *ctx) blockMulVecAdd(dst []float64, x *vec.Block, coef []float64) {
+	t0 := c.obs.Begin()
 	x.AddScaledFused(dst, 1, coef)
+	c.obs.End(obs.PhaseBlockUpdate, t0)
 	s := float64(x.S())
 	c.tr.VectorOp(2*s*float64(c.n), 8*float64(c.n)*(s+1))
 }
 
 // blockMulVecSub charges dst -= X·coef.
 func (c *ctx) blockMulVecSub(dst []float64, x *vec.Block, coef []float64) {
+	t0 := c.obs.Begin()
 	x.AddScaledFused(dst, -1, coef)
+	c.obs.End(obs.PhaseBlockUpdate, t0)
 	s := float64(x.S())
 	c.tr.VectorOp(2*s*float64(c.n), 8*float64(c.n)*(s+1))
 }
 
 // blockAddMul charges dst = Y + X·C (the BLAS3 search-direction update).
 func (c *ctx) blockAddMul(dst, y, x *vec.Block, coef []float64) {
+	t0 := c.obs.Begin()
 	vec.AddMulFused(dst, y, x, coef)
+	c.obs.End(obs.PhaseBlockUpdate, t0)
 	sx, sd := float64(x.S()), float64(dst.S())
 	flops := 2 * sx * sd * float64(c.n)
 	bytes := 8 * float64(c.n) * (sx + 2*sd)
@@ -222,7 +270,9 @@ func (c *ctx) blockAddMul(dst, y, x *vec.Block, coef []float64) {
 
 // blockMul charges dst = X·C.
 func (c *ctx) blockMul(dst, x *vec.Block, coef []float64) {
+	t0 := c.obs.Begin()
 	vec.MulFused(dst, x, coef)
+	c.obs.End(obs.PhaseBlockUpdate, t0)
 	sx, sd := float64(x.S()), float64(dst.S())
 	c.tr.VectorOp(2*sx*sd*float64(c.n), 8*float64(c.n)*(sx+sd))
 }

@@ -17,6 +17,7 @@ import (
 	"spcg/internal/dist"
 	"spcg/internal/eig"
 	"spcg/internal/fault"
+	"spcg/internal/obs"
 )
 
 // Criterion selects the convergence test, matching the three used in the
@@ -120,6 +121,13 @@ type Options struct {
 	// Stats reached so far. Pass a context's Done() channel to bound the
 	// wall-time of a solve (the solve service's deadline plumbing).
 	Cancel <-chan struct{}
+	// Trace, when non-nil, records per-phase wall-time spans and collective
+	// counts into the given tracer (see internal/obs); the aggregated
+	// breakdown is returned in Stats.Phases. Strictly pay-for-use: a nil
+	// Trace reduces every instrumentation site to one predictable branch.
+	// When a Tracker is also set, its halo-exchange events are mirrored
+	// into the trace.
+	Trace *obs.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -178,6 +186,10 @@ type Stats struct {
 	// RetriedMessages mirrors the tracker's fault-model communication
 	// retries (0 when untracked or the machine has no fault model).
 	RetriedMessages int
+	// Phases is the per-phase wall-time/collective breakdown of the run,
+	// present only when Options.Trace was set (the aggregate view of the
+	// tracer; raw spans stay on the tracer itself).
+	Phases []obs.PhaseStat
 }
 
 // ErrBreakdown wraps numerical breakdowns (singular Gram systems,

@@ -172,6 +172,9 @@ func finishRun(c *ctx, a *sparse.CSR, b, x []float64, opts Options, stats *Stats
 		stats.SimTime = c.tr.Time
 		stats.RetriedMessages = c.tr.Counts.RetriedMessages
 	}
+	if c.obs != nil {
+		stats.Phases = c.obs.Breakdown().Phases
+	}
 	return x
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"spcg/internal/obs"
 	"spcg/internal/precond"
 	"spcg/internal/sparse"
 	"spcg/internal/vec"
@@ -93,6 +94,7 @@ func PipelinedPCG(a *sparse.CSR, m precond.Interface, b []float64, opts Options)
 			values = 3
 		}
 		c.tr.AllreduceOverlappedBySpMVPrec(values, c.m.Flops())
+		c.obs.Count(obs.PhaseCollective, int64(values))
 		stats.Allreduces++
 		stats.AllreduceValues += values
 

@@ -6,6 +6,7 @@ import (
 
 	"spcg/internal/dense"
 	"spcg/internal/mpk"
+	"spcg/internal/obs"
 	"spcg/internal/precond"
 	"spcg/internal/sparse"
 	"spcg/internal/vec"
@@ -249,6 +250,9 @@ func runSStep(a *sparse.CSR, m precond.Interface, b []float64, opts Options, mom
 		// side was performed during development; all were *less* robust
 		// than this paper-faithful form, whose two-term coupling retains
 		// more of CG's finite-precision self-correction. See DESIGN.md.)
+		// Scalar Work phase span: the dense s×s factorizations and solves.
+		// Error exits below drop the span (the run is ending anyway).
+		tScalar := c.obs.Begin()
 		var bk *dense.Mat
 		if useHist {
 			rhs := cMat.Clone()
@@ -290,6 +294,7 @@ func runSStep(a *sparse.CSR, m precond.Interface, b []float64, opts Options, mom
 			stats.Breakdown = fmt.Errorf("%w: non-finite a⁽ᵏ⁾ at outer iteration %d", ErrBreakdown, k)
 			break
 		}
+		c.obs.End(obs.PhaseScalarWork, tScalar)
 
 		// Block updates.
 		if !useHist {

@@ -30,6 +30,7 @@ import (
 	"spcg/internal/dist"
 	"spcg/internal/eig"
 	"spcg/internal/fault"
+	"spcg/internal/obs"
 	"spcg/internal/precond"
 	"spcg/internal/solver"
 	"spcg/internal/sparse"
@@ -215,3 +216,34 @@ var Lanczos = eig.Lanczos
 
 // RitzPairs holds approximate eigenpairs from Lanczos.
 type RitzPairs = eig.RitzPairs
+
+// Tracer records timestamped phase spans (basis build, Gram, block update,
+// preconditioner apply, collectives, halo exchanges, …) in a fixed-size ring.
+// Pass one in Options.Trace to obtain Stats.Phases, a per-phase breakdown of
+// a solve mirroring the paper's Table 3. A nil *Tracer records nothing and
+// costs only a branch per instrumented operation, so instrumentation is
+// pay-for-use. Distinct from Tracker, which charges the modeled cost of a
+// virtual cluster; a Tracer measures real wall time on this machine.
+type Tracer = obs.Tracer
+
+// NewPhaseTracer allocates a Tracer with the given ring capacity (<= 0 means
+// obs.DefaultRingCapacity). Per-phase aggregates are exact even after the
+// ring wraps; only individual spans are dropped.
+var NewPhaseTracer = obs.New
+
+// PhaseStat is one row of a phase breakdown: a phase name with its span
+// count, total seconds, and summed payload (e.g. values reduced per
+// collective); see Stats.Phases.
+type PhaseStat = obs.PhaseStat
+
+// PhaseBreakdown is a full per-solve phase report with retained spans and
+// drop counts; obtain one from Tracer.Breakdown and render it with
+// Breakdown.Render.
+type PhaseBreakdown = obs.Breakdown
+
+// MetricsRegistry is a typed counter/gauge/histogram registry with Prometheus
+// text exposition (obs.Registry); the solve service exposes one at /metrics.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry creates an empty metrics registry.
+var NewMetricsRegistry = obs.NewRegistry

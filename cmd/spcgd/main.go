@@ -3,12 +3,20 @@
 //	spcgd [-addr :8097] [-workers N] [-queue 64] [-batch-window 2ms]
 //	      [-batch-max 8] [-cache-size 32] [-scale 100] [-timeout 120s]
 //	      [-pprof 127.0.0.1:6060]
+//	      [-stagnation-window 15s] [-watchdog-interval 250ms]
+//	      [-breaker-failures 3] [-breaker-cooldown 30s]
+//	      [-chaos-panic P] [-chaos-spmv P] [-chaos-comm P] [-chaos-seed N]
 //
 // Endpoints: POST /solve, GET /jobs/{id}, POST /jobs/{id}/cancel,
 // GET /matrices, GET /metrics (Prometheus text; ?format=json for the
 // structured view), GET /healthz. SIGINT/SIGTERM drain the queue before
 // exiting. -pprof serves net/http/pprof profiling endpoints on a separate
 // listener (off by default; bind it to loopback).
+//
+// The resilience flags tune the stagnation watchdog and circuit breakers
+// (docs/RESILIENCE.md); the -chaos-* flags turn the daemon against itself
+// for chaos testing — injected worker panics, solver soft errors and modeled
+// communication faults — and are meant to be driven by `spcgload -chaos`.
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"spcg/internal/fault"
 	"spcg/internal/service"
 )
 
@@ -38,28 +47,70 @@ func main() {
 	timeout := flag.Duration("timeout", 120*time.Second, "default per-job deadline")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for queued work at shutdown")
 	pprofAddr := flag.String("pprof", "", "serve /debug/pprof on this address (empty = disabled)")
+	stagWindow := flag.Duration("stagnation-window", 15*time.Second, "kill a solve whose residual stalls this long (negative disables the watchdog)")
+	watchdogInterval := flag.Duration("watchdog-interval", 250*time.Millisecond, "stagnation watchdog sampling interval")
+	breakerFailures := flag.Int("breaker-failures", 3, "consecutive failures that open a circuit breaker (negative disables breakers)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 30*time.Second, "open-breaker wait before a half-open probe")
+	chaosPanic := flag.Float64("chaos-panic", 0, "chaos: per-solo-solve injected panic probability")
+	chaosSpMV := flag.Float64("chaos-spmv", 0, "chaos: per-SpMV soft-error corruption probability")
+	chaosComm := flag.Float64("chaos-comm", 0, "chaos: modeled comm-fault probability per message")
+	chaosSeed := flag.Uint64("chaos-seed", 1, "chaos: seed for all injection streams")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "spcgd: unexpected arguments: %v\n", flag.Args())
 		os.Exit(2)
 	}
 
-	srv := service.New(service.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		BatchWindow:    *batchWindow,
-		BatchMax:       *batchMax,
-		CacheSize:      *cacheSize,
-		Scale:          *scale,
-		DefaultTimeout: *timeout,
-	})
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	cfg := service.Config{
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		BatchWindow:      *batchWindow,
+		BatchMax:         *batchMax,
+		CacheSize:        *cacheSize,
+		Scale:            *scale,
+		DefaultTimeout:   *timeout,
+		StagnationWindow: *stagWindow,
+		WatchdogInterval: *watchdogInterval,
+		BreakerFailures:  *breakerFailures,
+		BreakerCooldown:  *breakerCooldown,
+	}
+	if *chaosPanic > 0 || *chaosSpMV > 0 || *chaosComm > 0 {
+		cfg.Chaos = &service.ChaosConfig{
+			Seed:          *chaosSeed,
+			PanicProb:     *chaosPanic,
+			Fault:         fault.Config{SpMVCorruptProb: *chaosSpMV},
+			CommFaultProb: *chaosComm,
+		}
+		log.Printf("spcgd: CHAOS MODE — panic=%.3g spmv=%.3g comm=%.3g seed=%d",
+			*chaosPanic, *chaosSpMV, *chaosComm, *chaosSeed)
+	}
+	srv := service.New(cfg)
+	// Slow-client protection: bound every phase of a connection's lifetime.
+	// WriteTimeout must cover a sync solve that legitimately holds the
+	// response for a full job deadline, so it is the job timeout plus margin.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      *timeout + 30*time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 
 	if *pprofAddr != "" {
+		// DefaultServeMux carries only the pprof registrations (the service
+		// handler has its own mux), so this exposes nothing else. The write
+		// timeout stays generous: profile captures stream for ?seconds=N.
+		pprofSrv := &http.Server{
+			Addr:              *pprofAddr,
+			Handler:           nil,
+			ReadHeaderTimeout: 10 * time.Second,
+			ReadTimeout:       30 * time.Second,
+			WriteTimeout:      2 * time.Minute,
+			IdleTimeout:       2 * time.Minute,
+		}
 		go func() {
-			// DefaultServeMux carries only the pprof registrations (the
-			// service handler has its own mux), so this exposes nothing else.
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+			if err := pprofSrv.ListenAndServe(); err != nil {
 				log.Printf("spcgd: pprof listener: %v", err)
 			}
 		}()

@@ -9,6 +9,16 @@
 //
 // The process exits non-zero if any request fails, so CI can use it as a
 // smoke test.
+//
+// With -chaos the burst becomes a resilience acceptance run: the request mix
+// adds guaranteed s-step breakdowns (monomial basis on an ill-conditioned
+// anisotropic operator) and unreachable-tolerance stagnators, and the exit
+// code asserts the daemon's resilience invariants instead of per-request
+// success: every request reaches a terminal state, stagnated solves are
+// killed under half their deadline, at least one breaker-degraded solve
+// converges, and the daemon still answers /healthz afterwards. Run the
+// daemon with its -chaos-* flags (and a short -stagnation-window) to add
+// injected panics and soft errors on the server side.
 package main
 
 import (
@@ -26,21 +36,29 @@ import (
 )
 
 type solveRequest struct {
-	Matrix  string  `json:"matrix"`
-	Method  string  `json:"method"`
-	Precond string  `json:"precond,omitempty"`
-	S       int     `json:"s,omitempty"`
-	Tol     float64 `json:"tol,omitempty"`
-	RHS     string  `json:"rhs,omitempty"`
+	Matrix    string  `json:"matrix"`
+	Method    string  `json:"method"`
+	Precond   string  `json:"precond,omitempty"`
+	S         int     `json:"s,omitempty"`
+	Basis     string  `json:"basis,omitempty"`
+	Tol       float64 `json:"tol,omitempty"`
+	MaxIters  int     `json:"max_iters,omitempty"`
+	RHS       string  `json:"rhs,omitempty"`
+	TimeoutMS int     `json:"timeout_ms,omitempty"`
+	NoBatch   bool    `json:"no_batch,omitempty"`
 }
 
 type solveResult struct {
-	Converged  bool    `json:"converged"`
-	Iterations int     `json:"iterations"`
-	Batched    bool    `json:"batched"`
-	BatchSize  int     `json:"batch_size"`
-	SolveMS    float64 `json:"solve_ms"`
-	Error      string  `json:"error,omitempty"`
+	Converged     bool    `json:"converged"`
+	Iterations    int     `json:"iterations"`
+	FinalRelative float64 `json:"final_relative"`
+	Breakdown     string  `json:"breakdown,omitempty"`
+	Batched       bool    `json:"batched"`
+	BatchSize     int     `json:"batch_size"`
+	SolveMS       float64 `json:"solve_ms"`
+	Method        string  `json:"method,omitempty"`
+	DegradedFrom  string  `json:"degraded_from,omitempty"`
+	Error         string  `json:"error,omitempty"`
 }
 
 type jobStatus struct {
@@ -84,6 +102,7 @@ func main() {
 	tol := flag.Float64("tol", 0, "relative tolerance (0 = server default)")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request client timeout")
 	out := flag.String("out", "", "write a JSON report to this file")
+	chaos := flag.Bool("chaos", false, "chaos acceptance mode: mix in breakdowns and stagnators, assert resilience invariants")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "spcgload: unexpected arguments: %v\n", flag.Args())
@@ -97,6 +116,9 @@ func main() {
 	}
 
 	client := &http.Client{Timeout: *timeout}
+	if *chaos {
+		os.Exit(runChaos(client, *addr, *n, *c, methods, matrices, *out))
+	}
 	samples := make([]sample, *n)
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -151,6 +173,214 @@ func main() {
 	if rep.Failures > 0 {
 		os.Exit(1)
 	}
+}
+
+// stagDeadlineMS is the per-job deadline given to chaos-mode stagnators; the
+// watchdog must kill them in under half of it.
+const stagDeadlineMS = 8000
+
+// chaosOutcome is one classified chaos-mode response.
+type chaosOutcome struct {
+	class             string // healthy | breakdown | stagnation
+	state             string
+	violation         string // empty = invariants held
+	stagnated         bool
+	degradedConverged bool
+	solveMS           float64
+}
+
+// chaosReport is the -out document for a chaos run.
+type chaosReport struct {
+	Addr              string          `json:"addr"`
+	Requests          int             `json:"requests"`
+	WallS             float64         `json:"wall_s"`
+	Stagnated         int             `json:"stagnated"`
+	DegradedConverged int             `json:"degraded_converged"`
+	PanicFailures     int             `json:"panic_failures"`
+	Violations        []string        `json:"violations,omitempty"`
+	PerState          map[string]int  `json:"per_state"`
+	Server            json.RawMessage `json:"server_metrics,omitempty"`
+}
+
+// runChaos fires the chaos mix and asserts the resilience invariants,
+// returning the process exit code.
+func runChaos(client *http.Client, addr string, n, c int, methods, matrices []string, out string) int {
+	outcomes := make([]chaosOutcome, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	start := time.Now()
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				class, req := chaosRequest(i, methods, matrices)
+				outcomes[i] = chaosSolve(client, addr, class, req)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := &chaosReport{Addr: addr, Requests: n, WallS: wall.Seconds(), PerState: map[string]int{}}
+	panicFailures := 0
+	for i, o := range outcomes {
+		rep.PerState[o.state]++
+		if o.violation != "" && len(rep.Violations) < 20 {
+			rep.Violations = append(rep.Violations, fmt.Sprintf("req %d (%s): %s", i, o.class, o.violation))
+		}
+		if o.violation != "" {
+			continue
+		}
+		if o.stagnated {
+			rep.Stagnated++
+		}
+		if o.degradedConverged {
+			rep.DegradedConverged++
+		}
+		if o.state == "failed" {
+			panicFailures++
+		}
+	}
+	rep.PanicFailures = panicFailures
+
+	// The daemon must have survived the whole run.
+	resp, err := client.Get(addr + "/healthz")
+	if err != nil {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("daemon dead after chaos: /healthz: %v", err))
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			rep.Violations = append(rep.Violations, fmt.Sprintf("/healthz after chaos: HTTP %d", resp.StatusCode))
+		}
+	}
+	if body, err := fetchMetrics(client, addr); err == nil {
+		rep.Server = body
+	}
+	if rep.Stagnated < 1 {
+		rep.Violations = append(rep.Violations, "no request was killed by the stagnation watchdog (is -stagnation-window short enough on the daemon?)")
+	}
+	if rep.DegradedConverged < 1 {
+		rep.Violations = append(rep.Violations, "no breaker-degraded solve converged (are breakers enabled on the daemon?)")
+	}
+
+	fmt.Printf("spcgload -chaos: %d requests in %.2fs — states %v, %d stagnated, %d degraded+converged, %d panic failures, %d violations\n",
+		n, rep.WallS, rep.PerState, rep.Stagnated, rep.DegradedConverged, rep.PanicFailures, len(rep.Violations))
+	for _, v := range rep.Violations {
+		fmt.Fprintf(os.Stderr, "spcgload -chaos: VIOLATION: %s\n", v)
+	}
+	if out != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(out, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spcgload -chaos: write %s: %v\n", out, err)
+			return 1
+		}
+	}
+	if len(rep.Violations) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// chaosRequest builds request i of the chaos mix: mostly healthy traffic,
+// with guaranteed Gram breakdowns every 7th request and stagnators every
+// 25th (mirroring internal/service's in-process chaos harness).
+func chaosRequest(i int, methods, matrices []string) (string, solveRequest) {
+	switch {
+	case i%25 == 7:
+		return "stagnation", solveRequest{
+			Matrix: "poisson2d:64", Method: "pcg", Precond: "identity",
+			Tol: 1e-300, MaxIters: 500000, TimeoutMS: stagDeadlineMS, NoBatch: true,
+		}
+	case i%7 == 3:
+		return "breakdown", solveRequest{
+			Matrix: "aniso2d:30:0.0001", Method: "spcg", S: 8,
+			Basis: "monomial", Precond: "identity", NoBatch: true,
+		}
+	default:
+		return "healthy", solveRequest{
+			Matrix:  matrices[i%len(matrices)],
+			Method:  methods[i%len(methods)],
+			Precond: "jacobi",
+			S:       4,
+		}
+	}
+}
+
+// chaosSolve posts one chaos request and classifies the outcome against its
+// class's invariants. Shedding (429) is retried — a loaded daemon may shed.
+func chaosSolve(client *http.Client, addr string, class string, req solveRequest) chaosOutcome {
+	o := chaosOutcome{class: class}
+	body, err := json.Marshal(req)
+	if err != nil {
+		o.violation = err.Error()
+		return o
+	}
+	var resp *http.Response
+	for attempt := 0; ; attempt++ {
+		resp, err = client.Post(addr+"/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			o.violation = fmt.Sprintf("transport: %v", err)
+			return o
+		}
+		if resp.StatusCode != http.StatusTooManyRequests || attempt >= 5 {
+			break
+		}
+		resp.Body.Close()
+		time.Sleep(200 * time.Millisecond)
+	}
+	defer resp.Body.Close()
+	var st jobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		o.violation = fmt.Sprintf("HTTP %d: bad body: %v", resp.StatusCode, err)
+		return o
+	}
+	o.state = st.State
+	switch st.State {
+	case "done", "failed", "cancelled", "stagnated":
+	default:
+		o.violation = fmt.Sprintf("non-terminal state %q (HTTP %d)", st.State, resp.StatusCode)
+		return o
+	}
+	if st.Result == nil {
+		o.violation = fmt.Sprintf("terminal state %q without a result", st.State)
+		return o
+	}
+	r := st.Result
+	o.solveMS = r.SolveMS
+	o.stagnated = st.State == "stagnated"
+	o.degradedConverged = r.DegradedFrom != "" && r.Converged
+	switch class {
+	case "stagnation":
+		// The watchdog must beat the deadline by at least 2×; a solve that
+		// converged at tol 1e-300 would mean the invariant machinery is lying.
+		if o.stagnated && r.SolveMS >= stagDeadlineMS/2 {
+			o.violation = fmt.Sprintf("stagnated after %.0fms, want < half the %dms deadline", r.SolveMS, stagDeadlineMS)
+		}
+		if st.State == "done" && r.Converged {
+			o.violation = "converged at tol 1e-300"
+		}
+	case "healthy":
+		// Healthy traffic may fail from injected panics or stagnate from soft
+		// errors — but a clean completion must be a correct one.
+		if st.State == "done" && !r.Converged && r.Breakdown == "" {
+			o.violation = fmt.Sprintf("done but not converged (rel %.3g) with no breakdown", r.FinalRelative)
+		}
+	case "breakdown":
+		// Any terminal outcome is legal; degraded completions must converge
+		// whenever the fallback ran cleanly, which o.degradedConverged tracks.
+	}
+	if st.State == "failed" && r.Error == "" {
+		o.violation = "failed without an error"
+	}
+	return o
 }
 
 func splitList(s string) []string {

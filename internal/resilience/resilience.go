@@ -1,0 +1,409 @@
+// Package resilience provides the building blocks the solve service uses to
+// survive numerical and operational faults: a progress heartbeat sampled by a
+// stagnation watchdog, a per-key circuit breaker with half-open probes, a
+// health state machine, a sliding-window rate tracker for load shedding, and
+// a panic-capture helper that converts panics into stack-tagged errors.
+//
+// The package is deliberately free of service types: keys are opaque tuples,
+// the watchdog is a plain goroutine over a stop channel, and all types are
+// safe for concurrent use. See docs/RESILIENCE.md for how internal/service
+// wires these together.
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Heartbeat records solver progress (iteration count + relative criterion
+// value) from a solver's Options.OnProgress hook so a watchdog on another
+// goroutine can judge whether the solve is still improving. "Improving" means
+// the relative value dropped below the best seen so far by at least the
+// minImprove fraction; equal-or-slightly-better values bouncing around the
+// attainable-accuracy floor do not count, which is exactly the stagnation
+// signature the watchdog exists to catch.
+type Heartbeat struct {
+	mu          sync.Mutex
+	lastImprove time.Time
+	best        float64
+	iterations  int
+	relative    float64
+	beats       int64
+	minImprove  float64
+}
+
+// NewHeartbeat creates a heartbeat whose improvement threshold is the given
+// fraction (0.01 = a check must beat the best relative value by 1% to count
+// as progress; values outside (0,1) fall back to 0.01). The clock starts now:
+// a solve that never beats at all stagnates once the window elapses.
+func NewHeartbeat(minImprove float64) *Heartbeat {
+	if minImprove <= 0 || minImprove >= 1 {
+		minImprove = 0.01
+	}
+	return &Heartbeat{
+		lastImprove: time.Now(),
+		best:        math.Inf(1),
+		minImprove:  minImprove,
+	}
+}
+
+// Record notes one convergence check. It has the signature of
+// solver.Options.OnProgress and is safe to install there directly.
+func (h *Heartbeat) Record(iterations int, relative float64) {
+	h.mu.Lock()
+	h.iterations = iterations
+	h.relative = relative
+	h.beats++
+	if relative < h.best*(1-h.minImprove) {
+		h.best = relative
+		h.lastImprove = time.Now()
+	}
+	h.mu.Unlock()
+}
+
+// HeartbeatSnapshot is a point-in-time view of a heartbeat.
+type HeartbeatSnapshot struct {
+	Iterations   int           // last reported iteration count
+	Relative     float64       // last reported relative criterion value
+	Best         float64       // best (smallest) relative seen; +Inf before the first beat
+	Beats        int64         // total checks recorded
+	SinceImprove time.Duration // time since the last qualifying improvement
+}
+
+// Snapshot returns the current state.
+func (h *Heartbeat) Snapshot() HeartbeatSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HeartbeatSnapshot{
+		Iterations:   h.iterations,
+		Relative:     h.relative,
+		Best:         h.best,
+		Beats:        h.beats,
+		SinceImprove: time.Since(h.lastImprove),
+	}
+}
+
+// WatchdogConfig tunes a stagnation watch.
+type WatchdogConfig struct {
+	// Interval is how often the heartbeat is sampled (default 250ms).
+	Interval time.Duration
+	// Window is how long a solve may go without a qualifying improvement
+	// before it is declared stagnated (default 15s).
+	Window time.Duration
+}
+
+func (c WatchdogConfig) withDefaults() WatchdogConfig {
+	if c.Interval <= 0 {
+		c.Interval = 250 * time.Millisecond
+	}
+	if c.Window <= 0 {
+		c.Window = 15 * time.Second
+	}
+	return c
+}
+
+// Watch samples hb every cfg.Interval until stop closes. If the time since
+// the heartbeat's last improvement reaches cfg.Window, onStagnate is called
+// exactly once with the final snapshot and the watch ends. Run it on its own
+// goroutine; it never blocks the solver.
+func Watch(stop <-chan struct{}, hb *Heartbeat, cfg WatchdogConfig, onStagnate func(HeartbeatSnapshot)) {
+	cfg = cfg.withDefaults()
+	t := time.NewTicker(cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			if snap := hb.Snapshot(); snap.SinceImprove >= cfg.Window {
+				onStagnate(snap)
+				return
+			}
+		}
+	}
+}
+
+// Key identifies one circuit: a (matrix fingerprint, method, s) tuple. Solves
+// of the same matrix with a different method or block size fail independently,
+// so they trip independently.
+type Key struct {
+	Fingerprint uint64
+	Method      string
+	S           int
+}
+
+func (k Key) String() string {
+	return fmt.Sprintf("%s(s=%d)@%016x", k.Method, k.S, k.Fingerprint)
+}
+
+// BreakerState is the classic three-state circuit-breaker automaton.
+type BreakerState int
+
+const (
+	// BreakerClosed: requests flow normally; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the fast path is disabled until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: one probe request is in flight; its outcome decides
+	// whether the circuit closes again or re-opens for another cooldown.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig tunes the breaker collection.
+type BreakerConfig struct {
+	// Failures is the number of consecutive failures that opens a circuit
+	// (default 3).
+	Failures int
+	// Cooldown is how long an open circuit waits before admitting a
+	// half-open probe (default 30s).
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Failures <= 0 {
+		c.Failures = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 30 * time.Second
+	}
+	return c
+}
+
+// Transition reports what a Record call did to the circuit.
+type Transition int
+
+const (
+	// NoTransition: the circuit state did not change category.
+	NoTransition Transition = iota
+	// Opened: the circuit opened (or a failed probe re-opened it).
+	Opened
+	// Restored: a success closed a previously open/half-open circuit.
+	Restored
+)
+
+type breaker struct {
+	state    BreakerState
+	fails    int
+	openedAt time.Time
+}
+
+// Breakers is a collection of per-Key circuit breakers. Circuits are created
+// lazily on first Record; a Key never recorded is closed by definition.
+type Breakers struct {
+	mu  sync.Mutex
+	cfg BreakerConfig
+	m   map[Key]*breaker
+}
+
+// NewBreakers creates an empty collection.
+func NewBreakers(cfg BreakerConfig) *Breakers {
+	return &Breakers{cfg: cfg.withDefaults(), m: make(map[Key]*breaker)}
+}
+
+// Allow reports whether a request for key may take its fast path now. When an
+// open circuit's cooldown has elapsed, the first Allow admits the caller as
+// the half-open probe (probe=true) and subsequent callers are refused until
+// the probe's outcome is Recorded.
+func (b *Breakers) Allow(key Key, now time.Time) (allowed, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	br := b.m[key]
+	if br == nil || br.state == BreakerClosed {
+		return true, false
+	}
+	if br.state == BreakerOpen && now.Sub(br.openedAt) >= b.cfg.Cooldown {
+		br.state = BreakerHalfOpen
+		return true, true
+	}
+	return false, false
+}
+
+// Record notes the outcome of a solve that was Allowed for key. A success
+// resets the failure count and closes the circuit; a failure increments it,
+// opening the circuit after cfg.Failures consecutive failures, and a failed
+// half-open probe re-opens immediately for another cooldown.
+func (b *Breakers) Record(key Key, success bool, now time.Time) Transition {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	br := b.m[key]
+	if br == nil {
+		br = &breaker{}
+		b.m[key] = br
+	}
+	if success {
+		prev := br.state
+		br.state = BreakerClosed
+		br.fails = 0
+		if prev != BreakerClosed {
+			return Restored
+		}
+		return NoTransition
+	}
+	switch br.state {
+	case BreakerHalfOpen:
+		br.state = BreakerOpen
+		br.openedAt = now
+		return Opened
+	case BreakerClosed:
+		br.fails++
+		if br.fails >= b.cfg.Failures {
+			br.state = BreakerOpen
+			br.openedAt = now
+			return Opened
+		}
+	case BreakerOpen:
+		// A straggler failure from a request admitted before the circuit
+		// opened: refresh the cooldown so the probe waits for quiet.
+		br.openedAt = now
+	}
+	return NoTransition
+}
+
+// OpenCount reports how many circuits currently deny their fast path
+// (open or half-open).
+func (b *Breakers) OpenCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, br := range b.m {
+		if br.state != BreakerClosed {
+			n++
+		}
+	}
+	return n
+}
+
+// OpenBreaker describes one non-closed circuit for health reporting.
+type OpenBreaker struct {
+	Key   Key
+	State BreakerState
+}
+
+// Open lists the circuits currently denying their fast path.
+func (b *Breakers) Open() []OpenBreaker {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []OpenBreaker
+	for k, br := range b.m {
+		if br.state != BreakerClosed {
+			out = append(out, OpenBreaker{Key: k, State: br.state})
+		}
+	}
+	return out
+}
+
+// Health is the service-level health state machine.
+type Health int
+
+const (
+	// Healthy: full service, all circuits closed, no recent shedding.
+	Healthy Health = iota
+	// Degraded: serving, but some circuits are open or admissions are being
+	// shed — clients should expect fallback methods and retry backpressure.
+	Degraded
+	// Draining: shutting down; no new work is admitted.
+	Draining
+)
+
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Draining:
+		return "draining"
+	default:
+		return "unknown"
+	}
+}
+
+// RateWindow counts events over a sliding window of one-second buckets, e.g.
+// shed admissions for the health state machine. The zero value is unusable;
+// use NewRateWindow.
+type RateWindow struct {
+	mu      sync.Mutex
+	buckets []int64
+	seconds []int64 // unix second each bucket last counted for
+}
+
+// NewRateWindow creates a window spanning the given number of seconds
+// (minimum 1).
+func NewRateWindow(seconds int) *RateWindow {
+	if seconds < 1 {
+		seconds = 1
+	}
+	return &RateWindow{
+		buckets: make([]int64, seconds),
+		seconds: make([]int64, seconds),
+	}
+}
+
+// Add counts n events now.
+func (w *RateWindow) Add(n int64) {
+	now := time.Now().Unix()
+	w.mu.Lock()
+	i := int(now % int64(len(w.buckets)))
+	if w.seconds[i] != now {
+		w.seconds[i] = now
+		w.buckets[i] = 0
+	}
+	w.buckets[i] += n
+	w.mu.Unlock()
+}
+
+// Rate returns the events-per-second average over the window.
+func (w *RateWindow) Rate() float64 {
+	now := time.Now().Unix()
+	horizon := now - int64(len(w.buckets))
+	w.mu.Lock()
+	var sum int64
+	for i := range w.buckets {
+		if w.seconds[i] > horizon {
+			sum += w.buckets[i]
+		}
+	}
+	w.mu.Unlock()
+	return float64(sum) / float64(len(w.buckets))
+}
+
+// ErrPanic tags errors produced by Safe from recovered panics.
+var ErrPanic = errors.New("resilience: recovered panic")
+
+// maxStackBytes bounds the stack captured into a panic error so a deep panic
+// cannot bloat job results or logs.
+const maxStackBytes = 4096
+
+// Safe runs fn and converts a panic into an ErrPanic-wrapped error carrying
+// the panic value and a truncated stack, so one faulty solve cannot take the
+// whole process down.
+func Safe(fn func()) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			stack := debug.Stack()
+			if len(stack) > maxStackBytes {
+				stack = stack[:maxStackBytes]
+			}
+			err = fmt.Errorf("%w: %v\n%s", ErrPanic, p, stack)
+		}
+	}()
+	fn()
+	return nil
+}

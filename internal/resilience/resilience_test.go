@@ -1,0 +1,228 @@
+package resilience
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHeartbeatImprovementThreshold(t *testing.T) {
+	h := NewHeartbeat(0.01)
+	h.Record(1, 1.0)
+	s := h.Snapshot()
+	if s.Best != 1.0 || s.Beats != 1 || s.Iterations != 1 {
+		t.Fatalf("after first beat: %+v", s)
+	}
+	// A 0.5% improvement does not move the improvement clock or best.
+	h.Record(2, 0.995)
+	if s = h.Snapshot(); s.Best != 1.0 {
+		t.Fatalf("sub-threshold improvement moved best: %+v", s)
+	}
+	if s.Relative != 0.995 || s.Iterations != 2 {
+		t.Fatalf("last-seen values not tracked: %+v", s)
+	}
+	// A 50% improvement does.
+	h.Record(3, 0.5)
+	if s = h.Snapshot(); s.Best != 0.5 {
+		t.Fatalf("qualifying improvement ignored: %+v", s)
+	}
+}
+
+func TestHeartbeatStartsWithInfBest(t *testing.T) {
+	h := NewHeartbeat(0)
+	if s := h.Snapshot(); !math.IsInf(s.Best, 1) || s.Beats != 0 {
+		t.Fatalf("fresh heartbeat: %+v", s)
+	}
+}
+
+func TestWatchStagnates(t *testing.T) {
+	h := NewHeartbeat(0.01)
+	h.Record(1, 1.0)
+	stop := make(chan struct{})
+	defer close(stop)
+	got := make(chan HeartbeatSnapshot, 1)
+	go Watch(stop, h, WatchdogConfig{Interval: 5 * time.Millisecond, Window: 40 * time.Millisecond}, func(s HeartbeatSnapshot) {
+		got <- s
+	})
+	// Keep beating without improving: still stagnation.
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case s := <-got:
+			if s.SinceImprove < 40*time.Millisecond {
+				t.Fatalf("fired early: %+v", s)
+			}
+			return
+		case <-deadline:
+			t.Fatal("watchdog never fired on a non-improving heartbeat")
+		default:
+			h.Record(2, 1.0)
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestWatchStopsQuietlyOnProgress(t *testing.T) {
+	h := NewHeartbeat(0.01)
+	stop := make(chan struct{})
+	fired := make(chan struct{}, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		Watch(stop, h, WatchdogConfig{Interval: 5 * time.Millisecond, Window: time.Second}, func(HeartbeatSnapshot) {
+			fired <- struct{}{}
+		})
+	}()
+	// Improve steadily, then stop the watch as a completed solve would.
+	rel := 1.0
+	for i := 0; i < 20; i++ {
+		h.Record(i+1, rel)
+		rel *= 0.5
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case <-fired:
+		t.Fatal("watchdog fired on an improving solve")
+	default:
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	b := NewBreakers(BreakerConfig{Failures: 2, Cooldown: time.Hour})
+	key := Key{Fingerprint: 7, Method: "spcg", S: 8}
+	now := time.Now()
+
+	if ok, _ := b.Allow(key, now); !ok {
+		t.Fatal("fresh key not allowed")
+	}
+	if tr := b.Record(key, false, now); tr != NoTransition {
+		t.Fatalf("first failure: %v", tr)
+	}
+	if tr := b.Record(key, false, now); tr != Opened {
+		t.Fatalf("second failure should open: %v", tr)
+	}
+	if b.OpenCount() != 1 {
+		t.Fatalf("OpenCount = %d", b.OpenCount())
+	}
+	if ok, _ := b.Allow(key, now.Add(time.Minute)); ok {
+		t.Fatal("open circuit inside cooldown allowed a request")
+	}
+	// Cooldown elapses: exactly one probe gets through.
+	later := now.Add(2 * time.Hour)
+	ok, probe := b.Allow(key, later)
+	if !ok || !probe {
+		t.Fatalf("expected half-open probe, got ok=%v probe=%v", ok, probe)
+	}
+	if ok, _ := b.Allow(key, later); ok {
+		t.Fatal("second caller admitted while probe in flight")
+	}
+	// Failed probe re-opens for another full cooldown.
+	if tr := b.Record(key, false, later); tr != Opened {
+		t.Fatalf("failed probe: %v", tr)
+	}
+	if ok, _ := b.Allow(key, later.Add(time.Minute)); ok {
+		t.Fatal("re-opened circuit admitted a request inside cooldown")
+	}
+	// Successful probe closes.
+	evenLater := later.Add(2 * time.Hour)
+	if ok, probe := b.Allow(key, evenLater); !ok || !probe {
+		t.Fatal("no probe after second cooldown")
+	}
+	if tr := b.Record(key, true, evenLater); tr != Restored {
+		t.Fatalf("successful probe: %v", tr)
+	}
+	if b.OpenCount() != 0 {
+		t.Fatalf("OpenCount after restore = %d", b.OpenCount())
+	}
+	if ok, probe := b.Allow(key, evenLater); !ok || probe {
+		t.Fatalf("closed circuit: ok=%v probe=%v", ok, probe)
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	b := NewBreakers(BreakerConfig{Failures: 3, Cooldown: time.Hour})
+	key := Key{Fingerprint: 1, Method: "capcg", S: 4}
+	now := time.Now()
+	b.Record(key, false, now)
+	b.Record(key, false, now)
+	b.Record(key, true, now) // streak broken
+	b.Record(key, false, now)
+	b.Record(key, false, now)
+	if b.OpenCount() != 0 {
+		t.Fatal("non-consecutive failures opened the circuit")
+	}
+	if tr := b.Record(key, false, now); tr != Opened {
+		t.Fatalf("third consecutive failure: %v", tr)
+	}
+	open := b.Open()
+	if len(open) != 1 || open[0].Key != key || open[0].State != BreakerOpen {
+		t.Fatalf("Open() = %+v", open)
+	}
+}
+
+func TestBreakerKeysAreIndependent(t *testing.T) {
+	b := NewBreakers(BreakerConfig{Failures: 1, Cooldown: time.Hour})
+	now := time.Now()
+	k1 := Key{Fingerprint: 1, Method: "spcg", S: 8}
+	k2 := Key{Fingerprint: 1, Method: "spcg", S: 4}
+	b.Record(k1, false, now)
+	if ok, _ := b.Allow(k1, now); ok {
+		t.Fatal("k1 should be open")
+	}
+	if ok, _ := b.Allow(k2, now); !ok {
+		t.Fatal("k2 tripped by k1's failures")
+	}
+}
+
+func TestSafeCapturesPanic(t *testing.T) {
+	err := Safe(func() { panic("kaboom") })
+	if !errors.Is(err, ErrPanic) {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("panic value lost: %v", err)
+	}
+	if !strings.Contains(err.Error(), "goroutine") {
+		t.Fatalf("stack missing: %v", err)
+	}
+	if len(err.Error()) > maxStackBytes+256 {
+		t.Fatalf("stack not truncated: %d bytes", len(err.Error()))
+	}
+	if err := Safe(func() {}); err != nil {
+		t.Fatalf("clean run returned %v", err)
+	}
+}
+
+func TestRateWindow(t *testing.T) {
+	w := NewRateWindow(10)
+	if w.Rate() != 0 {
+		t.Fatal("fresh window has nonzero rate")
+	}
+	w.Add(5)
+	w.Add(5)
+	if r := w.Rate(); r != 1.0 {
+		t.Fatalf("rate = %v, want 10 events / 10 s = 1", r)
+	}
+}
+
+func TestHealthStrings(t *testing.T) {
+	for h, want := range map[Health]string{Healthy: "healthy", Degraded: "degraded", Draining: "draining"} {
+		if h.String() != want {
+			t.Fatalf("%d.String() = %q", h, h.String())
+		}
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	for s, want := range map[BreakerState]string{BreakerClosed: "closed", BreakerOpen: "open", BreakerHalfOpen: "half-open"} {
+		if s.String() != want {
+			t.Fatalf("%d.String() = %q", s, s.String())
+		}
+	}
+}

@@ -53,6 +53,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrQueueFull):
+			// Load shedding: tell well-behaved clients when to come back.
+			w.Header().Set("Retry-After", "1")
 			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
 		case errors.Is(err, ErrShuttingDown):
 			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
@@ -77,7 +79,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	switch st.State {
 	case JobDone:
 		writeJSON(w, http.StatusOK, st)
-	case JobCancelled:
+	case JobCancelled, JobStagnated:
 		writeJSON(w, http.StatusGatewayTimeout, st)
 	default:
 		writeJSON(w, http.StatusInternalServerError, st)
@@ -116,10 +118,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.Registry().WritePrometheus(w)
 }
 
+// handleHealthz serves the health state machine: 200 while healthy or
+// degraded (degraded still serves traffic — clients read the body to learn
+// about open breakers and shedding), 503 once draining.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	if s.Draining() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-		return
+	hs := s.HealthSnapshot()
+	code := http.StatusOK
+	if hs.Status == "draining" {
+		w.Header().Set("Retry-After", "1")
+		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, code, hs)
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"spcg/internal/obs"
+	"spcg/internal/resilience"
 	"spcg/internal/solver"
 )
 
@@ -19,7 +20,20 @@ const (
 	JobDone      JobState = "done"
 	JobFailed    JobState = "failed"
 	JobCancelled JobState = "cancelled"
+	// JobStagnated is a terminal state distinct from cancellation: the
+	// stagnation watchdog killed the solve because its residual stopped
+	// improving well before the wall-clock deadline.
+	JobStagnated JobState = "stagnated"
 )
+
+// terminal reports whether a state ends the job lifecycle.
+func (s JobState) terminal() bool {
+	switch s {
+	case JobDone, JobFailed, JobCancelled, JobStagnated:
+		return true
+	}
+	return false
+}
 
 // SolveRequest is the JSON body of POST /solve.
 type SolveRequest struct {
@@ -52,6 +66,12 @@ type SolveResult struct {
 	BatchSize       int     `json:"batch_size"` // columns in that block (1 = solo)
 	SolveMS         float64 `json:"solve_ms"`
 	XNorm           float64 `json:"x_norm"`
+	// Method is the solver that actually ran; it differs from the request's
+	// method when a circuit breaker degraded the fast path.
+	Method string `json:"method,omitempty"`
+	// DegradedFrom records the originally requested method when an open
+	// circuit breaker forced a fallback down the degradation ladder.
+	DegradedFrom string `json:"degraded_from,omitempty"`
 	// Phases is the per-phase time/count breakdown of the solve, present
 	// when the request set "trace": true.
 	Phases []obs.PhaseStat `json:"phases,omitempty"`
@@ -85,6 +105,48 @@ type job struct {
 	started   time.Time
 	finished  time.Time
 	result    *SolveResult
+	// stagnated is set by the watchdog before it cancels the job's context,
+	// so the completion path can tell a watchdog kill from a deadline or a
+	// client cancel.
+	stagnated      bool
+	stagnateReason string
+	// breakerKey is the circuit the job's outcome must be recorded against,
+	// set before the solve starts so the panic path can count the failure.
+	breakerKey    resilience.Key
+	hasBreakerKey bool
+}
+
+// setBreakerKey binds the job to the circuit its outcome feeds.
+func (j *job) setBreakerKey(key resilience.Key) {
+	j.mu.Lock()
+	j.breakerKey = key
+	j.hasBreakerKey = true
+	j.mu.Unlock()
+}
+
+// breakerKeyIfSet returns the bound circuit key, if any.
+func (j *job) breakerKeyIfSet() (resilience.Key, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.breakerKey, j.hasBreakerKey
+}
+
+// markStagnated flags the job as killed by the stagnation watchdog. The
+// caller cancels the context afterwards; the first terminal state still wins.
+func (j *job) markStagnated(reason string) {
+	j.mu.Lock()
+	if !j.state.terminal() {
+		j.stagnated = true
+		j.stagnateReason = reason
+	}
+	j.mu.Unlock()
+}
+
+// stagnatedInfo reports whether the watchdog flagged this job, and why.
+func (j *job) stagnatedInfo() (bool, string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stagnated, j.stagnateReason
 }
 
 func (j *job) setRunning(now time.Time) {
@@ -100,7 +162,7 @@ func (j *job) setRunning(now time.Time) {
 // done channel is closed exactly once.
 func (j *job) finish(state JobState, res *SolveResult, now time.Time) bool {
 	j.mu.Lock()
-	if j.state == JobDone || j.state == JobFailed || j.state == JobCancelled {
+	if j.state.terminal() {
 		j.mu.Unlock()
 		return false
 	}

@@ -47,6 +47,15 @@ type metrics struct {
 	mvProducts  *obs.Counter
 	precApplies *obs.Counter
 
+	// Resilience families (see docs/RESILIENCE.md).
+	panics          *obs.Counter
+	stagnated       *obs.Counter
+	degraded        *obs.Counter
+	breakerOpened   *obs.Counter
+	breakerRestored *obs.Counter
+	commRetries     *obs.Counter
+	srv             *Server // bound by bindResilience for scrape-time funcs
+
 	mu      sync.Mutex
 	latency map[string]*obs.Histogram // per solver method
 }
@@ -97,6 +106,13 @@ func newMetrics(start time.Time, cache *setupCache) *metrics {
 	m.mvProducts = reg.Counter("spcgd_solver_mv_products_total", "Sparse matrix-vector products summed over all jobs.")
 	m.precApplies = reg.Counter("spcgd_solver_prec_applies_total", "Preconditioner applications summed over all jobs.")
 
+	m.panics = reg.Counter("spcgd_solver_panics_total", "Solve panics recovered by the worker guard (each becomes a failed job, never a crash).")
+	m.stagnated = reg.Counter("spcgd_stagnated_total", "Jobs killed by the stagnation watchdog (terminal state stagnated).")
+	m.degraded = reg.Counter("spcgd_degraded_solves_total", "Solves rerouted down the method ladder by an open circuit breaker.")
+	m.breakerOpened = reg.Counter("spcgd_breaker_opened_total", "Circuit-breaker open transitions (including re-opens after a failed probe).")
+	m.breakerRestored = reg.Counter("spcgd_breaker_restored_total", "Circuit-breaker restorations (successful half-open probes closing the circuit).")
+	m.commRetries = reg.Counter("spcgd_comm_retries_total", "Modeled communication retries charged by chaos fault trackers, summed over jobs.")
+
 	// The pool engine owns its kernel counters (process-wide atomics); expose
 	// them read-through so /metrics shows whether fusion is engaged in
 	// production, not just in benchmarks.
@@ -116,6 +132,28 @@ func newMetrics(start time.Time, cache *setupCache) *metrics {
 		func() float64 { return float64(pool.DefaultWorkers()) })
 
 	return m
+}
+
+// bindResilience registers the scrape-time resilience gauges once the server
+// (breakers, shed window, health machine, chaos state) exists; counters are
+// created in newMetrics so increments never race construction.
+func (m *metrics) bindResilience(s *Server) {
+	m.srv = s
+	m.reg.GaugeFunc("spcgd_breakers_open", "Circuits currently denying their fast path (open or half-open).",
+		func() float64 {
+			if s.breakers == nil {
+				return 0
+			}
+			return float64(s.breakers.OpenCount())
+		})
+	m.reg.GaugeFunc("spcgd_shed_rate", "Admissions rejected per second over the last 30s window.",
+		func() float64 { return s.shed.Rate() })
+	m.reg.GaugeFunc("spcgd_health_state", "Serving health state machine: 0 healthy, 1 degraded, 2 draining.",
+		func() float64 { return float64(s.Health()) })
+	if s.chaos != nil {
+		m.reg.CounterFunc("spcgd_chaos_panics_injected_total", "Panics injected by the chaos layer (chaos mode only).",
+			s.chaos.injectedPanics)
+	}
 }
 
 // observe records one request latency under its solver method label.
@@ -174,6 +212,20 @@ type MetricsSnapshot struct {
 		PrecAppliesTotal int64 `json:"prec_applies_total"`
 	} `json:"solver"`
 
+	// Resilience summarizes the fault-survival layer: panic isolation,
+	// stagnation watchdog, circuit breakers and load shedding.
+	Resilience struct {
+		Health          string  `json:"health"`
+		SolverPanics    int64   `json:"solver_panics_total"`
+		Stagnated       int64   `json:"stagnated_total"`
+		DegradedSolves  int64   `json:"degraded_solves_total"`
+		BreakerOpened   int64   `json:"breaker_opened_total"`
+		BreakerRestored int64   `json:"breaker_restored_total"`
+		BreakersOpen    int     `json:"breakers_open"`
+		CommRetries     int64   `json:"comm_retries_total"`
+		ShedRate        float64 `json:"shed_rate"`
+	} `json:"resilience"`
+
 	// Kernels exposes the shared worker-pool engine's counters (process-wide,
 	// not per-request): pool dispatches vs inline fallbacks, how often the
 	// fused Gram/combine/basis-step kernels ran, and the effective worker
@@ -211,6 +263,19 @@ func (m *metrics) snapshot(start time.Time, cache *setupCache) MetricsSnapshot {
 	s.Solver.IterationsTotal = m.iterations.Value()
 	s.Solver.MVProductsTotal = m.mvProducts.Value()
 	s.Solver.PrecAppliesTotal = m.precApplies.Value()
+	s.Resilience.SolverPanics = m.panics.Value()
+	s.Resilience.Stagnated = m.stagnated.Value()
+	s.Resilience.DegradedSolves = m.degraded.Value()
+	s.Resilience.BreakerOpened = m.breakerOpened.Value()
+	s.Resilience.BreakerRestored = m.breakerRestored.Value()
+	if m.srv != nil {
+		s.Resilience.Health = m.srv.Health().String()
+		if m.srv.breakers != nil {
+			s.Resilience.BreakersOpen = m.srv.breakers.OpenCount()
+		}
+		s.Resilience.ShedRate = m.srv.shed.Rate()
+	}
+	s.Resilience.CommRetries = m.commRetries.Value()
 	s.Kernels = pool.ReadStats()
 	s.Latency = map[string]LatencySnapshot{}
 	m.mu.Lock()

@@ -88,10 +88,16 @@ func (r *registry) get(name string) (*sparse.CSR, uint64, error) {
 	r.mu.Lock()
 	e, ok := r.byKey[name]
 	if !ok {
-		build, err := r.parseGenerator(name)
+		build, dim, err := r.parseGenerator(name)
 		if err != nil {
 			r.mu.Unlock()
 			return nil, 0, err
+		}
+		// Bound the dimension BEFORE building: a hostile generator spec must
+		// not allocate the matrix it is about to be rejected for.
+		if dim > r.maxN {
+			r.mu.Unlock()
+			return nil, 0, fmt.Errorf("%w: matrix %s has n=%d > limit %d", ErrLimitExceeded, name, dim, r.maxN)
 		}
 		e = &matrixEntry{Name: name, build: build}
 		r.byKey[name] = e
@@ -102,14 +108,37 @@ func (r *registry) get(name string) (*sparse.CSR, uint64, error) {
 		return nil, 0, err
 	}
 	if a.Dim() > r.maxN {
-		return nil, 0, fmt.Errorf("matrix %s has n=%d > limit %d", name, a.Dim(), r.maxN)
+		return nil, 0, fmt.Errorf("%w: matrix %s has n=%d > limit %d", ErrLimitExceeded, name, a.Dim(), r.maxN)
 	}
 	return a, fp, nil
 }
 
-// parseGenerator turns "family:args" into a build closure. The returned
-// closure runs outside the registry lock.
-func (r *registry) parseGenerator(name string) (func() (*sparse.CSR, error), error) {
+// sizeCheck rejects a parametric generator spec whose dimension would exceed
+// the limit, without building anything. Suite names pass (their scaled sizes
+// are bounded by construction) and unknown specs pass too: the lazy
+// resolution at solve time keeps its failure semantics for async clients.
+func (r *registry) sizeCheck(name string) error {
+	name = strings.TrimSpace(name)
+	r.mu.Lock()
+	_, known := r.byKey[name]
+	r.mu.Unlock()
+	if known {
+		return nil
+	}
+	_, dim, err := r.parseGenerator(name)
+	if err != nil {
+		return nil
+	}
+	if dim > r.maxN {
+		return fmt.Errorf("%w: matrix %s has n=%d > limit %d", ErrLimitExceeded, name, dim, r.maxN)
+	}
+	return nil
+}
+
+// parseGenerator turns "family:args" into a build closure plus the dimension
+// the build would produce, so callers can enforce size limits before any
+// allocation. The returned closure runs outside the registry lock.
+func (r *registry) parseGenerator(name string) (func() (*sparse.CSR, error), int, error) {
 	parts := strings.Split(name, ":")
 	family := strings.ToLower(parts[0])
 	args := parts[1:]
@@ -131,67 +160,77 @@ func (r *registry) parseGenerator(name string) (func() (*sparse.CSR, error), err
 	case "poisson1d":
 		v, err := ints(1)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		return func() (*sparse.CSR, error) { return sparse.Poisson1D(v[0]), nil }, nil
+		return func() (*sparse.CSR, error) { return sparse.Poisson1D(v[0]), nil }, v[0], nil
 	case "poisson2d":
 		v, err := ints(1)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		nx, ny := v[0], v[0]
 		if len(v) > 1 {
 			ny = v[1]
 		}
-		return func() (*sparse.CSR, error) { return sparse.Poisson2D(nx, ny), nil }, nil
+		return func() (*sparse.CSR, error) { return sparse.Poisson2D(nx, ny), nil }, satMul(nx, ny), nil
 	case "poisson3d":
 		v, err := ints(1)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		nx, ny, nz := v[0], v[0], v[0]
 		if len(v) > 2 {
 			ny, nz = v[1], v[2]
 		}
-		return func() (*sparse.CSR, error) { return sparse.Poisson3D(nx, ny, nz), nil }, nil
+		return func() (*sparse.CSR, error) { return sparse.Poisson3D(nx, ny, nz), nil }, satMul(satMul(nx, ny), nz), nil
 	case "varcoeff2d", "varcoeff3d":
 		if len(args) < 2 {
-			return nil, fmt.Errorf("matrix %q: need NX:CONTRAST[:SEED]", name)
+			return nil, 0, fmt.Errorf("matrix %q: need NX:CONTRAST[:SEED]", name)
 		}
 		nx, err := strconv.Atoi(args[0])
 		if err != nil || nx < 1 {
-			return nil, fmt.Errorf("matrix %q: bad size %q", name, args[0])
+			return nil, 0, fmt.Errorf("matrix %q: bad size %q", name, args[0])
 		}
 		contrast, err := strconv.ParseFloat(args[1], 64)
 		if err != nil || contrast < 0 {
-			return nil, fmt.Errorf("matrix %q: bad contrast %q", name, args[1])
+			return nil, 0, fmt.Errorf("matrix %q: bad contrast %q", name, args[1])
 		}
 		seed := int64(1)
 		if len(args) > 2 {
 			s, err := strconv.ParseInt(args[2], 10, 64)
 			if err != nil {
-				return nil, fmt.Errorf("matrix %q: bad seed %q", name, args[2])
+				return nil, 0, fmt.Errorf("matrix %q: bad seed %q", name, args[2])
 			}
 			seed = s
 		}
 		if family == "varcoeff2d" {
-			return func() (*sparse.CSR, error) { return sparse.VarCoeff2D(nx, nx, contrast, seed), nil }, nil
+			return func() (*sparse.CSR, error) { return sparse.VarCoeff2D(nx, nx, contrast, seed), nil }, satMul(nx, nx), nil
 		}
-		return func() (*sparse.CSR, error) { return sparse.VarCoeff3D(nx, nx, nx, contrast, seed), nil }, nil
+		return func() (*sparse.CSR, error) { return sparse.VarCoeff3D(nx, nx, nx, contrast, seed), nil }, satMul(satMul(nx, nx), nx), nil
 	case "aniso2d":
 		if len(args) < 2 {
-			return nil, fmt.Errorf("matrix %q: need NX:EPS", name)
+			return nil, 0, fmt.Errorf("matrix %q: need NX:EPS", name)
 		}
 		nx, err := strconv.Atoi(args[0])
 		if err != nil || nx < 1 {
-			return nil, fmt.Errorf("matrix %q: bad size %q", name, args[0])
+			return nil, 0, fmt.Errorf("matrix %q: bad size %q", name, args[0])
 		}
 		eps, err := strconv.ParseFloat(args[1], 64)
 		if err != nil || eps <= 0 {
-			return nil, fmt.Errorf("matrix %q: bad epsilon %q", name, args[1])
+			return nil, 0, fmt.Errorf("matrix %q: bad epsilon %q", name, args[1])
 		}
-		return func() (*sparse.CSR, error) { return sparse.Anisotropic2D(nx, nx, eps), nil }, nil
+		return func() (*sparse.CSR, error) { return sparse.Anisotropic2D(nx, nx, eps), nil }, satMul(nx, nx), nil
 	default:
-		return nil, fmt.Errorf("unknown matrix %q (suite name or generator spec expected)", name)
+		return nil, 0, fmt.Errorf("unknown matrix %q (suite name or generator spec expected)", name)
 	}
+}
+
+// satMul multiplies two positive dimensions, saturating instead of
+// overflowing so absurd generator specs still compare > maxN.
+func satMul(a, b int) int {
+	const maxInt = int(^uint(0) >> 1)
+	if a > 0 && b > maxInt/a {
+		return maxInt
+	}
+	return a * b
 }

@@ -32,6 +32,7 @@ import (
 	"spcg/internal/basis"
 	"spcg/internal/obs"
 	"spcg/internal/precond"
+	"spcg/internal/resilience"
 	"spcg/internal/solver"
 	"spcg/internal/sparse"
 	"spcg/internal/vec"
@@ -64,6 +65,34 @@ type Config struct {
 	MaxMatrixDim int
 	// MaxDoneJobs bounds retained finished jobs (default 512).
 	MaxDoneJobs int
+	// MaxRequestIters bounds SolveRequest.MaxIters (default 1e6): iteration
+	// history and per-iteration work scale with it, so an unbounded value is
+	// a memory/CPU exhaustion hole.
+	MaxRequestIters int
+	// MaxRequestS bounds SolveRequest.S (default 64): basis blocks allocate
+	// (s+1) length-n vectors.
+	MaxRequestS int
+	// WatchdogInterval is how often the stagnation watchdog samples a running
+	// solve's heartbeat (default 250ms).
+	WatchdogInterval time.Duration
+	// StagnationWindow kills a solve whose relative residual has not improved
+	// by StagnationImprove for this long, reporting JobStagnated well before
+	// the wall-clock deadline (default 15s; negative disables the watchdog).
+	StagnationWindow time.Duration
+	// StagnationImprove is the fractional residual improvement that counts as
+	// progress for the watchdog (default 0.01).
+	StagnationImprove float64
+	// BreakerFailures is the consecutive-failure count that opens a
+	// per-(matrix, method, s) circuit breaker, degrading the method ladder
+	// sPCG(s) → SPCGAdaptive → PCG for subsequent requests (default 3;
+	// negative disables the breaker).
+	BreakerFailures int
+	// BreakerCooldown is how long an open breaker waits before a half-open
+	// probe re-tests the fast path (default 30s).
+	BreakerCooldown time.Duration
+	// Chaos, when non-nil, turns on service-level fault injection (injected
+	// panics, solver soft errors, modeled comm faults) for chaos testing.
+	Chaos *ChaosConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -97,6 +126,27 @@ func (c Config) withDefaults() Config {
 	if c.MaxDoneJobs < 1 {
 		c.MaxDoneJobs = 512
 	}
+	if c.MaxRequestIters < 1 {
+		c.MaxRequestIters = 1_000_000
+	}
+	if c.MaxRequestS < 1 {
+		c.MaxRequestS = 64
+	}
+	if c.WatchdogInterval <= 0 {
+		c.WatchdogInterval = 250 * time.Millisecond
+	}
+	if c.StagnationWindow == 0 {
+		c.StagnationWindow = 15 * time.Second
+	}
+	if c.StagnationImprove <= 0 || c.StagnationImprove >= 1 {
+		c.StagnationImprove = 0.01
+	}
+	if c.BreakerFailures == 0 {
+		c.BreakerFailures = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 30 * time.Second
+	}
 	return c
 }
 
@@ -105,6 +155,11 @@ var ErrQueueFull = fmt.Errorf("service: queue full")
 
 // ErrShuttingDown is returned by Submit after Shutdown has begun.
 var ErrShuttingDown = fmt.Errorf("service: shutting down")
+
+// ErrLimitExceeded is returned by Submit when a request exceeds the
+// configured resource limits (MaxRequestIters, MaxRequestS, MaxMatrixDim);
+// the HTTP layer maps it to 400.
+var ErrLimitExceeded = fmt.Errorf("service: request exceeds configured limits")
 
 // solverFn is the shared solver signature served by the method table.
 type solverFn = func(*sparse.CSR, precond.Interface, []float64, solver.Options) ([]float64, *solver.Stats, error)
@@ -126,6 +181,20 @@ func methodTable() map[string]solverFn {
 // of M⁻¹A (the cacheable Lanczos setup step).
 var needsSpectrum = map[string]bool{
 	"spcg": true, "capcg": true, "capcg3": true, "adaptive": true,
+}
+
+// degradeNext is the circuit-breaker degradation ladder: when the breaker
+// for (matrix, method, s) is open, the request falls through to the next
+// rung. Every s-step method degrades to the adaptive s-halving cascade —
+// the paper-faithful mitigation for basis/Gram ill-conditioning — and the
+// cascade itself degrades to plain PCG, which is never breaker-gated (it is
+// the floor of the ladder).
+var degradeNext = map[string]string{
+	"spcg":     "adaptive",
+	"spcgmon":  "adaptive",
+	"capcg":    "adaptive",
+	"capcg3":   "adaptive",
+	"adaptive": "pcg",
 }
 
 // batchKey groups coalescable requests: same matrix name, preconditioner and
@@ -151,12 +220,15 @@ type workItem struct {
 // Server is the solve service. Create with New, serve via Handler, stop with
 // Shutdown.
 type Server struct {
-	cfg   Config
-	reg   *registry
-	cache *setupCache
-	jobs  *jobStore
-	met   *metrics
-	start time.Time
+	cfg      Config
+	reg      *registry
+	cache    *setupCache
+	jobs     *jobStore
+	met      *metrics
+	start    time.Time
+	breakers *resilience.Breakers // nil when BreakerFailures < 0
+	shed     *resilience.RateWindow
+	chaos    *chaosState // nil unless Config.Chaos was set
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -183,6 +255,7 @@ func New(cfg Config) *Server {
 		jobs:       newJobStore(cfg.MaxDoneJobs),
 		met:        newMetrics(start, cache),
 		start:      start,
+		shed:       resilience.NewRateWindow(30),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		// Admission caps outstanding jobs at QueueDepth and a work item never
@@ -190,6 +263,16 @@ func New(cfg Config) *Server {
 		queue:   make(chan *workItem, cfg.QueueDepth),
 		pending: map[batchKey]*pendingBatch{},
 	}
+	if cfg.BreakerFailures > 0 {
+		s.breakers = resilience.NewBreakers(resilience.BreakerConfig{
+			Failures: cfg.BreakerFailures,
+			Cooldown: cfg.BreakerCooldown,
+		})
+	}
+	if cfg.Chaos != nil {
+		s.chaos = newChaosState(*cfg.Chaos)
+	}
+	s.met.bindResilience(s)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -221,6 +304,18 @@ func (s *Server) validate(req *SolveRequest) error {
 	if req.Tol < 0 || req.MaxIters < 0 || req.S < 0 || req.TimeoutMS < 0 {
 		return fmt.Errorf("negative tol/max_iters/s/timeout_ms")
 	}
+	// Resource limits: a single hostile request must not be able to pin a
+	// worker forever or allocate unbounded memory. Matrix dimensions are
+	// bounded here too, before the generator would build anything.
+	if req.MaxIters > s.cfg.MaxRequestIters {
+		return fmt.Errorf("%w: max_iters %d > limit %d", ErrLimitExceeded, req.MaxIters, s.cfg.MaxRequestIters)
+	}
+	if req.S > s.cfg.MaxRequestS {
+		return fmt.Errorf("%w: s %d > limit %d", ErrLimitExceeded, req.S, s.cfg.MaxRequestS)
+	}
+	if err := s.reg.sizeCheck(req.Matrix); err != nil {
+		return err
+	}
 	if _, err := buildRHS(req.RHS, 1); err != nil {
 		return err
 	}
@@ -248,6 +343,7 @@ func (s *Server) Submit(req SolveRequest) (*job, error) {
 	if s.admitted >= s.cfg.QueueDepth {
 		s.mu.Unlock()
 		s.met.rejected.Inc()
+		s.shed.Add(1)
 		return nil, ErrQueueFull
 	}
 	s.admitted++
@@ -325,6 +421,53 @@ func (s *Server) Draining() bool {
 	return s.closed
 }
 
+// Health evaluates the serving state machine: draining once Shutdown has
+// begun, degraded while any circuit breaker denies its fast path or
+// admissions were shed within the rate window, healthy otherwise.
+func (s *Server) Health() resilience.Health {
+	if s.Draining() {
+		return resilience.Draining
+	}
+	if s.breakers != nil && s.breakers.OpenCount() > 0 {
+		return resilience.Degraded
+	}
+	if s.shed.Rate() > 0 {
+		return resilience.Degraded
+	}
+	return resilience.Healthy
+}
+
+// HealthStatus is the JSON document served at /healthz.
+type HealthStatus struct {
+	Status string `json:"status"` // healthy | degraded | draining
+	// OpenBreakers lists circuits currently denying their fast path, as
+	// "method(s=K)@fingerprint state".
+	OpenBreakers []string `json:"open_breakers,omitempty"`
+	// ShedRate is admissions rejected per second over the last 30s.
+	ShedRate float64 `json:"shed_rate"`
+	// InFlight and QueueDepth mirror the admission gauges.
+	InFlight   int64 `json:"in_flight"`
+	QueueDepth int64 `json:"queue_depth"`
+}
+
+// HealthSnapshot assembles the /healthz payload.
+func (s *Server) HealthSnapshot() HealthStatus {
+	hs := HealthStatus{
+		Status:   s.Health().String(),
+		ShedRate: s.shed.Rate(),
+		InFlight: int64(s.met.inFlight.Value()),
+	}
+	if d := s.met.queued.Load() - hs.InFlight; d > 0 {
+		hs.QueueDepth = d
+	}
+	if s.breakers != nil {
+		for _, ob := range s.breakers.Open() {
+			hs.OpenBreakers = append(hs.OpenBreakers, ob.Key.String()+" "+ob.State.String())
+		}
+	}
+	return hs
+}
+
 // Shutdown stops admission, flushes pending batches, drains the queue and
 // waits for workers. If ctx expires first, in-flight solves are cancelled
 // cooperatively and Shutdown still waits for them to unwind.
@@ -362,7 +505,26 @@ func (s *Server) Shutdown(ctx context.Context) error {
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for item := range s.queue {
-		s.run(item)
+		s.runGuarded(item)
+	}
+}
+
+// runGuarded isolates panics: a panicking solve (kernel bug, injected chaos)
+// becomes a set of failed jobs with a stack-tagged error — never a dead
+// worker or a daemon crash. Deferred cleanups inside run (in-flight gauge,
+// batch watchers) execute during the unwind as usual.
+func (s *Server) runGuarded(item *workItem) {
+	err := resilience.Safe(func() { s.run(item) })
+	if err == nil {
+		return
+	}
+	s.met.panics.Inc()
+	for _, j := range item.jobs {
+		// A panic mid-solve is a failure signal for any breaker-gated member.
+		if key, ok := j.breakerKeyIfSet(); ok {
+			s.breakerRecord(key, false)
+		}
+		s.finishJob(j, JobFailed, &SolveResult{Error: err.Error(), BatchSize: len(item.jobs)})
 	}
 }
 
@@ -412,7 +574,7 @@ func (s *Server) run(item *workItem) {
 		s.runBatch(live, a, m)
 		return
 	}
-	s.runSolo(lead, a, m, entry, spec)
+	s.runSolo(lead, a, fp, m, entry, spec)
 }
 
 func (s *Server) failAll(jobs []*job, err error) {
@@ -421,15 +583,93 @@ func (s *Server) failAll(jobs []*job, err error) {
 	}
 }
 
-// runSolo executes one job with the requested method.
-func (s *Server) runSolo(j *job, a *sparse.CSR, m precond.Interface, entry *setupEntry, spec precondSpec) {
+// applyBreaker walks the degradation ladder for breaker-gated methods: when
+// the circuit for (fp, method, s) is open, the request falls to the next
+// rung until an allowed method (or the ungated floor, plain PCG) is reached.
+// gated reports whether the chosen method's outcome must be Recorded.
+func (s *Server) applyBreaker(fp uint64, req SolveRequest) (method string, key resilience.Key, gated bool, degradedFrom string) {
+	method = req.Method
+	if s.breakers == nil {
+		return method, resilience.Key{}, false, ""
+	}
+	if _, ok := degradeNext[method]; !ok {
+		return method, resilience.Key{}, false, "" // pcg, pcg3, pipelined: never gated
+	}
+	sVal := req.S
+	if sVal <= 0 {
+		sVal = 10 // the solver's default block size; keys must match what runs
+	}
+	now := time.Now()
+	for {
+		key = resilience.Key{Fingerprint: fp, Method: method, S: sVal}
+		if allowed, _ := s.breakers.Allow(key, now); allowed {
+			if method != req.Method {
+				degradedFrom = req.Method
+			}
+			return method, key, true, degradedFrom
+		}
+		method = degradeNext[method]
+		if _, ok := degradeNext[method]; !ok {
+			// Reached the PCG floor: always allowed, never gated.
+			return method, resilience.Key{}, false, req.Method
+		}
+	}
+}
+
+// breakerRecord feeds one outcome into the circuit for key and mirrors the
+// resulting transition into metrics.
+func (s *Server) breakerRecord(key resilience.Key, success bool) {
+	if s.breakers == nil {
+		return
+	}
+	switch s.breakers.Record(key, success, time.Now()) {
+	case resilience.Opened:
+		s.met.breakerOpened.Inc()
+	case resilience.Restored:
+		s.met.breakerRestored.Inc()
+	}
+}
+
+// watchStagnation starts the heartbeat watchdog for a solve covering the
+// given jobs, wiring the heartbeat into opts.OnProgress. The watcher exits
+// when stop closes; on stagnation it marks every job and cancels it.
+func (s *Server) watchStagnation(opts *solver.Options, stop <-chan struct{}, jobs ...*job) {
+	if s.cfg.StagnationWindow <= 0 {
+		return
+	}
+	hb := resilience.NewHeartbeat(s.cfg.StagnationImprove)
+	opts.OnProgress = hb.Record
+	cfg := resilience.WatchdogConfig{Interval: s.cfg.WatchdogInterval, Window: s.cfg.StagnationWindow}
+	go resilience.Watch(stop, hb, cfg, func(snap resilience.HeartbeatSnapshot) {
+		reason := fmt.Sprintf("no residual progress for %s (best relative %.3g, %d checks, iteration %d)",
+			snap.SinceImprove.Round(time.Millisecond), snap.Best, snap.Beats, snap.Iterations)
+		for _, j := range jobs {
+			j.markStagnated(reason)
+			j.cancel()
+		}
+	})
+}
+
+// runSolo executes one job with the requested method — or, when the circuit
+// breaker for its (matrix, method, s) tuple is open, the next rung of the
+// degradation ladder. A stagnation watchdog samples the solve's heartbeat
+// and kills it well before the wall-clock deadline when the residual stops
+// improving.
+func (s *Server) runSolo(j *job, a *sparse.CSR, fp uint64, m precond.Interface, entry *setupEntry, spec precondSpec) {
 	req := j.req
-	solve := methodTable()[req.Method]
+	method, key, gated, degradedFrom := s.applyBreaker(fp, req)
+	if gated {
+		j.setBreakerKey(key)
+	}
+	if degradedFrom != "" {
+		s.met.degraded.Inc()
+	}
+	solve := methodTable()[method]
 	opts := optsFromReq(req, j.ctx.Done())
 	if req.Trace {
 		opts.Trace = obs.New(0) // per-job tracer; Stats.Phases flows to the result
 	}
-	if needsSpectrum[req.Method] && opts.Basis != basis.Monomial {
+	if needsSpectrum[method] && opts.Basis != basis.Monomial {
 		sVal := opts.S
 		if sVal <= 0 {
 			sVal = 10
@@ -439,22 +679,42 @@ func (s *Server) runSolo(j *job, a *sparse.CSR, m precond.Interface, entry *setu
 		}
 		// On estimate failure the solver falls back to computing its own.
 	}
+	s.chaos.arm(&opts, a, fp)
+	s.watchStagnation(&opts, j.ctx.Done(), j)
 	b, err := buildRHS(req.RHS, a.Dim())
 	if err != nil {
 		s.finishJob(j, JobFailed, &SolveResult{Error: err.Error(), BatchSize: 1})
 		return
 	}
+	s.chaos.maybePanic(j.id) // inside the worker's Safe guard
 
 	t0 := time.Now()
 	x, stats, err := solve(a, m, b, opts)
 	elapsed := time.Since(t0)
-	s.met.observe(req.Method, elapsed)
+	s.met.observe(method, elapsed)
 
 	res := statsToResult(stats, err, false, 1, elapsed, norm2(x))
+	res.Method = method
+	res.DegradedFrom = degradedFrom
 	s.recordSolve(stats, true)
+	stagnated, reason := j.stagnatedInfo()
+	if gated {
+		switch {
+		case stagnated:
+			s.breakerRecord(key, false)
+		case isCancelled(err):
+			// Client cancel or deadline: no numerical signal either way.
+		default:
+			s.breakerRecord(key, err == nil && stats != nil && stats.Converged)
+		}
+	}
 	switch {
 	case err == nil:
 		s.finishJob(j, JobDone, res)
+	case isCancelled(err) && stagnated:
+		res.Error = "stagnated: " + reason
+		s.met.stagnated.Inc()
+		s.finishJob(j, JobStagnated, res)
 	case isCancelled(err):
 		s.finishJob(j, JobCancelled, res)
 	default:
@@ -488,6 +748,10 @@ func (s *Server) runBatch(members []*job, a *sparse.CSR, m precond.Interface) {
 	}()
 
 	opts := optsFromReq(members[0].req, allDone)
+	// One watchdog covers the whole block: BatchPCG's heartbeat reports the
+	// worst still-active column, so the block is only killed when even its
+	// slowest member has stopped improving.
+	s.watchStagnation(&opts, allDone, members...)
 	t0 := time.Now()
 	xs, statsList, err := solver.BatchPCG(a, m, bs, opts)
 	elapsed := time.Since(t0)
@@ -514,12 +778,20 @@ func (s *Server) runBatch(members []*job, a *sparse.CSR, m precond.Interface) {
 		s.met.observe(j.req.Method, elapsed)
 		s.recordSolve(st, false)
 		res := statsToResult(st, nil, true, k, elapsed, xnorm)
+		res.Method = j.req.Method
+		stagnated, reason := j.stagnatedInfo()
 		switch {
-		case st != nil && st.Converged:
-			s.finishJob(j, JobDone, res)
+		case stagnated:
+			res.Error = "stagnated: " + reason
+			s.met.stagnated.Inc()
+			s.finishJob(j, JobStagnated, res)
 		case j.ctx.Err() != nil || isCancelled(err):
+			// The member's own cancel/deadline wins even if its column happened
+			// to converge before the block wound down.
 			res.Error = solver.ErrCancelled.Error()
 			s.finishJob(j, JobCancelled, res)
+		case st != nil && st.Converged:
+			s.finishJob(j, JobDone, res)
 		default:
 			s.finishJob(j, JobDone, res) // ran to cap/breakdown: done, not converged
 		}
@@ -535,6 +807,7 @@ func (s *Server) recordSolve(st *solver.Stats, solo bool) {
 		s.met.iterations.Add(int64(st.Iterations))
 		s.met.mvProducts.Add(int64(st.MVProducts))
 		s.met.precApplies.Add(int64(st.PrecApplies))
+		s.met.commRetries.Add(int64(st.RetriedMessages))
 	}
 }
 
@@ -553,7 +826,9 @@ func (s *Server) finishJob(j *job, state JobState, res *SolveResult) {
 		s.met.completed.Inc()
 	case JobFailed:
 		s.met.failed.Inc()
-	case JobCancelled:
+	case JobCancelled, JobStagnated:
+		// spcgd_stagnated_total counts watchdog kills separately at the call
+		// site; both states release the job as a cancellation for accounting.
 		s.met.cancelled.Inc()
 	}
 }

@@ -21,7 +21,7 @@ import (
 // reductions.
 func SPCGAdaptive(a *sparse.CSR, m precond.Interface, b []float64, opts Options) ([]float64, *Stats, error) {
 	opts = opts.withDefaults()
-	total := &Stats{}
+	total := &Stats{BestRelative: math.Inf(1)}
 	s := opts.S
 	x := opts.X0
 	remaining := opts.MaxIterations
@@ -32,6 +32,13 @@ func SPCGAdaptive(a *sparse.CSR, m precond.Interface, b []float64, opts Options)
 		phase.S = s
 		phase.X0 = x
 		phase.MaxIterations = remaining
+		if opts.OnProgress != nil {
+			// Rebase each phase's iteration counter so an external observer
+			// (the service's stagnation watchdog) sees one monotone stream of
+			// cascade-wide progress instead of per-phase restarts from zero.
+			base := total.Iterations
+			phase.OnProgress = func(it int, rel float64) { opts.OnProgress(base+it, rel) }
+		}
 		var (
 			stats *Stats
 			err   error
@@ -99,6 +106,13 @@ func accumulate(total, phase *Stats) {
 	total.Restarts += phase.Restarts
 	total.DetectedFaults += phase.DetectedFaults
 	total.Rollbacks += phase.Rollbacks
+	total.Heartbeats += phase.Heartbeats
+	// Guard on Heartbeats: a phase that broke down before its first
+	// convergence check reports a zero-valued BestRelative that must not
+	// clobber the cascade-wide minimum.
+	if phase.Heartbeats > 0 && phase.BestRelative < total.BestRelative {
+		total.BestRelative = phase.BestRelative
+	}
 	total.History = append(total.History, phase.History...)
 	if phase.Breakdown != nil {
 		total.Breakdown = phase.Breakdown

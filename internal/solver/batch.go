@@ -60,7 +60,7 @@ func BatchPCG(a *sparse.CSR, m precond.Interface, bs *vec.Block, opts Options) (
 
 	mnorm := opts.Criterion == RecursiveResidualMNorm
 	for j := 0; j < k; j++ {
-		stats[j] = &Stats{}
+		stats[j] = &Stats{BestRelative: math.Inf(1)}
 		// x⁰ = 0 ⇒ r⁰ = b_j directly; batched requests carry no X0.
 		vec.Copy(r.Col(j), bs.Col(j))
 		m.Apply(u.Col(j), r.Col(j))
@@ -117,6 +117,11 @@ func BatchPCG(a *sparse.CSR, m precond.Interface, bs *vec.Block, opts Options) (
 			}
 		}
 		a.MulBlockPar(sAct, pAct)
+		// The block heartbeat reports the worst (largest) relative value among
+		// the columns advanced this iteration: the watchdog only declares the
+		// whole batch stagnant when even the slowest member stops improving.
+		worst := 0.0
+		advanced := false
 		for j := 0; j < k; j++ {
 			if !active[j] {
 				continue
@@ -154,11 +159,22 @@ func BatchPCG(a *sparse.CSR, m precond.Interface, bs *vec.Block, opts Options) (
 				val = vec.Norm2(r.Col(j))
 			}
 			st.FinalRelative = val / initial[j]
+			if st.FinalRelative < st.BestRelative {
+				st.BestRelative = st.FinalRelative
+			}
+			st.Heartbeats++
+			advanced = true
+			if st.FinalRelative > worst {
+				worst = st.FinalRelative
+			}
 			if st.FinalRelative <= opts.Tol {
 				st.Converged = true
 				active[j] = false
 				remaining--
 			}
+		}
+		if advanced && opts.OnProgress != nil {
+			opts.OnProgress(i+1, worst)
 		}
 	}
 

@@ -106,7 +106,7 @@ func CAPCG(a *sparse.CSR, m precond.Interface, b []float64, opts Options) ([]flo
 			critVal = math.Sqrt(rho)
 		}
 		if ck == nil {
-			ck = newChecker(opts.Criterion, opts.Tol, critVal, opts.HistoryEvery, stats)
+			ck = newChecker(opts, critVal, stats)
 		}
 		if ck.done(critVal) {
 			stats.Converged = true

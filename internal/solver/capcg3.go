@@ -119,7 +119,7 @@ func CAPCG3(a *sparse.CSR, m precond.Interface, b []float64, opts Options) ([]fl
 			critVal = math.Sqrt(rho0)
 		}
 		if ck == nil {
-			ck = newChecker(opts.Criterion, opts.Tol, critVal, opts.HistoryEvery, stats)
+			ck = newChecker(opts, critVal, stats)
 		}
 		if ck.done(critVal) {
 			stats.Converged = true

@@ -10,37 +10,57 @@ import (
 	"spcg/internal/sparse"
 )
 
-// checker evaluates the convergence criterion against its initial value and
-// records history.
+// checker evaluates the convergence criterion against its initial value,
+// records history, and mirrors every check to Options.OnProgress as a
+// progress heartbeat.
 type checker struct {
-	crit    Criterion
-	tol     float64
-	initial float64 // initial norm-like value (‖r⁰‖ or √(r⁰ᵀu⁰))
-	every   int
-	nchecks int
-	stats   *Stats
+	crit       Criterion
+	tol        float64
+	initial    float64 // initial norm-like value (‖r⁰‖ or √(r⁰ᵀu⁰))
+	every      int
+	nchecks    int
+	stats      *Stats
+	onProgress func(iterations int, relative float64)
 }
 
-func newChecker(crit Criterion, tol float64, initial float64, historyEvery int, stats *Stats) *checker {
-	if historyEvery <= 0 {
-		historyEvery = 1
+func newChecker(opts Options, initial float64, stats *Stats) *checker {
+	every := opts.HistoryEvery
+	if every <= 0 {
+		every = 1
 	}
-	return &checker{crit: crit, tol: tol, initial: initial, every: historyEvery, stats: stats}
+	stats.BestRelative = math.Inf(1)
+	return &checker{
+		crit:       opts.Criterion,
+		tol:        opts.Tol,
+		initial:    initial,
+		every:      every,
+		stats:      stats,
+		onProgress: opts.OnProgress,
+	}
 }
 
 // done evaluates the criterion for the given norm-like value, records
-// history, and reports convergence. A zero initial value converges
-// immediately (x⁰ already solves the system).
+// history and heartbeat stats, fires the progress hook, and reports
+// convergence. A zero initial value converges immediately (x⁰ already solves
+// the system). Callers set stats.Iterations before calling done, so the hook
+// sees the iteration the value belongs to.
 func (ck *checker) done(value float64) bool {
 	rel := 0.0
 	if ck.initial > 0 {
 		rel = value / ck.initial
 	}
 	ck.stats.FinalRelative = rel
+	if rel < ck.stats.BestRelative {
+		ck.stats.BestRelative = rel
+	}
+	ck.stats.Heartbeats++
 	if ck.nchecks%ck.every == 0 {
 		ck.stats.History = append(ck.stats.History, rel)
 	}
 	ck.nchecks++
+	if ck.onProgress != nil {
+		ck.onProgress(ck.stats.Iterations, rel)
+	}
 	return rel <= ck.tol
 }
 

@@ -96,7 +96,7 @@ func DeflatedPCG(a *sparse.CSR, m precond.Interface, b []float64, w *vec.Block, 
 		c.allreduce(1)
 		initial = math.Sqrt(v)
 	}
-	ck := newChecker(opts.Criterion, opts.Tol, initial, opts.HistoryEvery, stats)
+	ck := newChecker(opts, initial, stats)
 	if ck.done(initial) {
 		stats.Converged = true
 		return finishDeflated(c, a, b, x, w, chol, opts, stats)

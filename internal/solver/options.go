@@ -128,6 +128,14 @@ type Options struct {
 	// When a Tracker is also set, its halo-exchange events are mirrored
 	// into the trace.
 	Trace *obs.Tracer
+	// OnProgress, when non-nil, is called at every convergence check with the
+	// current PCG-equivalent iteration count and the relative criterion
+	// value — a heartbeat for live observers such as the solve service's
+	// stagnation watchdog (internal/resilience). The callback runs on the
+	// solver's goroutine between iterations and must be cheap and
+	// non-blocking. SPCGAdaptive rebases the iteration count so the cascade
+	// reports a single monotone stream across phases.
+	OnProgress func(iterations int, relative float64)
 }
 
 func (o Options) withDefaults() Options {
@@ -162,6 +170,13 @@ type Stats struct {
 	TrueRelResidual float64
 	// History holds the relative criterion values at each recorded check.
 	History []float64
+	// Heartbeats counts convergence checks — the progress beats mirrored to
+	// Options.OnProgress when it is set.
+	Heartbeats int
+	// BestRelative is the smallest relative criterion value observed at any
+	// check (+Inf until the first check). Stagnation watchdogs compare
+	// against it; SPCGAdaptive carries the minimum across cascade phases.
+	BestRelative float64
 	// MVProducts, PrecApplies, Allreduces, AllreduceValues count the
 	// communication-relevant events (also mirrored in the tracker).
 	MVProducts, PrecApplies, Allreduces, AllreduceValues int

@@ -55,7 +55,7 @@ func PCG(a *sparse.CSR, m precond.Interface, b []float64, opts Options) ([]float
 		stats.Breakdown = err
 		return finishRun(c, a, b, x, opts, stats), stats, nil
 	}
-	ck := newChecker(opts.Criterion, opts.Tol, initial, opts.HistoryEvery, stats)
+	ck := newChecker(opts, initial, stats)
 	// Check the initial state (x⁰ may already solve the system).
 	if ck.done(initial) {
 		stats.Converged = true

@@ -71,7 +71,7 @@ func PipelinedPCG(a *sparse.CSR, m precond.Interface, b []float64, opts Options)
 		stats.Breakdown = err
 		return finishRun(c, a, b, x, opts, stats), stats, nil
 	}
-	ck := newChecker(opts.Criterion, opts.Tol, initial, opts.HistoryEvery, stats)
+	ck := newChecker(opts, initial, stats)
 	if ck.done(initial) {
 		stats.Converged = true
 		return finishRun(c, a, b, x, opts, stats), stats, nil

@@ -142,7 +142,7 @@ func runSStep(a *sparse.CSR, m precond.Interface, b []float64, opts Options, mom
 			critVal = math.Sqrt(rho) // free: rᵀu is part of the Gram
 		}
 		if ck == nil {
-			ck = newChecker(opts.Criterion, opts.Tol, critVal, opts.HistoryEvery, stats)
+			ck = newChecker(opts, critVal, stats)
 		}
 		if ck.done(critVal) {
 			stats.Converged = true

@@ -204,6 +204,13 @@ var BatchPCG = solver.BatchPCG
 // returned alongside it.
 var ErrCancelled = solver.ErrCancelled
 
+// ErrBreakdown tags Stats.Breakdown (wrapped) when an s-step solve hits a
+// singular Gram system or a non-positive curvature — the numerical failure
+// mode the paper's s-halving cascade (SPCGAdaptive) and the solve service's
+// circuit breakers mitigate. Test with errors.Is(stats.Breakdown,
+// spcg.ErrBreakdown).
+var ErrBreakdown = solver.ErrBreakdown
+
 // NewBlockVector allocates an n×k multivector, e.g. for deflation subspaces.
 var NewBlockVector = vec.NewBlock
 

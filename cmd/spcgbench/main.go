@@ -8,6 +8,7 @@
 //	spcgbench faults [-dim 20] [-s 6]
 //	spcgbench kernels [-sizes 4096,65536,1048576] [-s 8] [-workersweep 1,2,4] [-reps 7] [-out BENCH_kernels.json]
 //	spcgbench trace  [-dim 24] [-s 10]
+//	spcgbench tune   [-matrices thermomech_TC,shipsec8] [-scale 100] [-probeiters 40] [-rounds 3] [-reps 3] [-out BENCH_autotune.json]
 //
 // Scale divides the paper's matrix sizes (1 = full size); see DESIGN.md for
 // the experiment-to-module index.
@@ -40,7 +41,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	cmd := args[0]
-	if !knownCommands[cmd] {
+	if !knownCommand(cmd) {
 		fmt.Fprintf(stderr, "spcgbench: unknown subcommand %q\n", cmd)
 		usage(stderr)
 		return 2
@@ -58,8 +59,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	maxIters := fs.Int("maxiters", 0, "iteration cap (default 12000, the paper's cutoff; scale it with -scale for faster sweeps)")
 	sizesFlag := fs.String("sizes", "", "comma-separated vector lengths (kernels; default 4096,65536,1048576)")
 	workerSweep := fs.String("workersweep", "", "comma-separated pool sizes (kernels; default 1,2,GOMAXPROCS)")
-	reps := fs.Int("reps", 0, "timing repetitions, min reported (kernels; default 7)")
-	out := fs.String("out", "", "also write the result as JSON to this file (kernels)")
+	reps := fs.Int("reps", 0, "timing repetitions, min reported (kernels: default 7; tune: default 3)")
+	out := fs.String("out", "", "also write the result as JSON to this file (kernels, tune)")
+	matrices := fs.String("matrices", "", "comma-separated suite matrix names (tune; default thermomech_TC,shipsec8)")
+	probeIters := fs.Int("probeiters", 0, "first-round tuning probe iteration cap (tune; default 40)")
+	rounds := fs.Int("rounds", 0, "successive-halving rounds (tune; default 3)")
 	if err := fs.Parse(args[1:]); err != nil {
 		return 2
 	}
@@ -172,6 +176,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintln(stdout, "validation: measured collectives match the Table 1 closed forms")
 			}
 		}
+	case "tune":
+		var acfg experiments.AutotuneConfig
+		// The global -scale default (32) is for the table experiments; tune
+		// defaults to 100 (~1000-row stand-ins keep the full static sweep fast).
+		if *scale != 32 {
+			acfg.Scale = *scale
+		}
+		acfg.Reps = *reps
+		acfg.Tune.ProbeIters = *probeIters
+		acfg.Tune.Rounds = *rounds
+		if *matrices != "" {
+			for _, name := range strings.Split(*matrices, ",") {
+				acfg.Matrices = append(acfg.Matrices, strings.TrimSpace(name))
+			}
+		}
+		var res *experiments.AutotuneResult
+		res, err = experiments.RunAutotune(acfg, stderr)
+		if err == nil {
+			experiments.RenderAutotune(stdout, res)
+			if *out != "" {
+				var buf []byte
+				buf, err = json.MarshalIndent(res, "", "  ")
+				if err == nil {
+					err = os.WriteFile(*out, append(buf, '\n'), 0o644)
+				}
+			}
+			// The smoke invariant: a tuner that serves broken configurations
+			// fails the command, not just the report.
+			if err == nil {
+				err = experiments.ValidateAutotune(res)
+			}
+		}
 	case "kernels":
 		var kcfg experiments.KernelsConfig
 		kcfg.Reps = *reps
@@ -209,10 +245,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-var knownCommands = map[string]bool{
-	"table1": true, "table2": true, "table3": true, "fig1": true,
-	"pipeline": true, "predict": true, "ablation": true, "faults": true,
-	"kernels": true, "trace": true,
+// subcommands is the single registry of dispatchable cases, in the order the
+// usage line advertises them. The switch in run and this list must agree —
+// TestUsageListsEverySubcommand cross-checks them.
+var subcommands = []string{
+	"table1", "table2", "table3", "fig1", "pipeline", "predict",
+	"ablation", "faults", "kernels", "trace", "tune",
+}
+
+func knownCommand(cmd string) bool {
+	for _, c := range subcommands {
+		if c == cmd {
+			return true
+		}
+	}
+	return false
 }
 
 // parseIntList parses "a,b,c" into positive ints; empty input returns nil
@@ -233,6 +280,6 @@ func parseIntList(s string) ([]int, error) {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, `usage: spcgbench <table1|table2|table3|fig1|ablation|predict|pipeline|faults|kernels|trace> [flags]
-Run "spcgbench <cmd> -h" for per-command flags.`)
+	fmt.Fprintf(w, "usage: spcgbench <%s> [flags]\n", strings.Join(subcommands, "|"))
+	fmt.Fprintln(w, `Run "spcgbench <cmd> -h" for per-command flags.`)
 }

@@ -23,6 +23,41 @@ func TestRunUnknownSubcommand(t *testing.T) {
 	}
 }
 
+// TestUsageListsEverySubcommand keeps the usage line honest: every
+// registered subcommand must be advertised, with no duplicates, and each
+// must actually be accepted by the dispatcher.
+func TestUsageListsEverySubcommand(t *testing.T) {
+	var buf bytes.Buffer
+	usage(&buf)
+	text := buf.String()
+	seen := map[string]bool{}
+	for _, cmd := range subcommands {
+		if seen[cmd] {
+			t.Errorf("subcommand %q registered twice", cmd)
+		}
+		seen[cmd] = true
+		if !strings.Contains(text, cmd) {
+			t.Errorf("usage text does not list subcommand %q: %s", cmd, text)
+		}
+		if !knownCommand(cmd) {
+			t.Errorf("registered subcommand %q not accepted by the dispatcher", cmd)
+		}
+		// A recognized command must get past the unknown-subcommand check:
+		// a bogus flag yields a flag-parse failure (exit 2) but never the
+		// "unknown subcommand" message.
+		var out, errBuf bytes.Buffer
+		if code := run([]string{cmd, "-definitely-not-a-flag"}, &out, &errBuf); code != 2 {
+			t.Errorf("%s with bad flag: exit %d, want 2", cmd, code)
+		}
+		if strings.Contains(errBuf.String(), "unknown subcommand") {
+			t.Errorf("%s rejected as unknown subcommand", cmd)
+		}
+	}
+	if !seen["tune"] {
+		t.Error("tune subcommand missing from the registry")
+	}
+}
+
 func TestRunNoArgs(t *testing.T) {
 	var out, errBuf bytes.Buffer
 	if code := run(nil, &out, &errBuf); code != 2 {
@@ -75,6 +110,35 @@ func TestRunKernelsSmoke(t *testing.T) {
 	}
 	if len(res.Cases) == 0 {
 		t.Error("-out JSON has no cases")
+	}
+}
+
+func TestRunTuneSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tune sweep in -short mode")
+	}
+	outFile := t.TempDir() + "/bench_autotune.json"
+	var out, errBuf bytes.Buffer
+	code := run([]string{"tune", "-matrices", "thermomech_TC", "-scale", "200",
+		"-reps", "1", "-probeiters", "20", "-rounds", "2", "-out", outFile}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("tune smoke: exit %d, stderr: %s", code, errBuf.String())
+	}
+	for _, want := range []string{"thermomech_TC", "auto within 10% of best static", "no broken config selected:      true"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("tune output missing %q: %s", want, out.String())
+		}
+	}
+	data, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatalf("-out file: %v", err)
+	}
+	var res experiments.AutotuneResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("-out is not valid JSON: %v", err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0].Winner.Method == "" {
+		t.Errorf("-out JSON malformed: %+v", res)
 	}
 }
 

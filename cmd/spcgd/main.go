@@ -5,13 +5,17 @@
 //	      [-pprof 127.0.0.1:6060]
 //	      [-stagnation-window 15s] [-watchdog-interval 250ms]
 //	      [-breaker-failures 3] [-breaker-cooldown 30s]
+//	      [-tune-store PATH] [-tune-entries 128] [-tune-probe-iters 40]
 //	      [-chaos-panic P] [-chaos-spmv P] [-chaos-comm P] [-chaos-seed N]
 //
 // Endpoints: POST /solve, GET /jobs/{id}, POST /jobs/{id}/cancel,
-// GET /matrices, GET /metrics (Prometheus text; ?format=json for the
-// structured view), GET /healthz. SIGINT/SIGTERM drain the queue before
-// exiting. -pprof serves net/http/pprof profiling endpoints on a separate
-// listener (off by default; bind it to loopback).
+// GET /matrices, POST /tune, GET /tune/{matrix}, GET /metrics (Prometheus
+// text; ?format=json for the structured view), GET /healthz. SIGINT/SIGTERM
+// drain the queue before exiting. -pprof serves net/http/pprof profiling
+// endpoints on a separate listener (off by default; bind it to loopback).
+//
+// -tune-store persists method:"auto" tuning decisions across restarts
+// (docs/TUNING.md); without it the autotuner still runs, memory-only.
 //
 // The resilience flags tune the stagnation watchdog and circuit breakers
 // (docs/RESILIENCE.md); the -chaos-* flags turn the daemon against itself
@@ -34,6 +38,7 @@ import (
 
 	"spcg/internal/fault"
 	"spcg/internal/service"
+	"spcg/internal/tune"
 )
 
 func main() {
@@ -51,6 +56,9 @@ func main() {
 	watchdogInterval := flag.Duration("watchdog-interval", 250*time.Millisecond, "stagnation watchdog sampling interval")
 	breakerFailures := flag.Int("breaker-failures", 3, "consecutive failures that open a circuit breaker (negative disables breakers)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 30*time.Second, "open-breaker wait before a half-open probe")
+	tuneStore := flag.String("tune-store", "", "persist autotuning decisions to this JSON file (empty = memory-only)")
+	tuneEntries := flag.Int("tune-entries", 128, "max tuning decisions retained (LRU)")
+	tuneProbeIters := flag.Int("tune-probe-iters", 40, "first-round iteration cap for tuning probe solves")
 	chaosPanic := flag.Float64("chaos-panic", 0, "chaos: per-solo-solve injected panic probability")
 	chaosSpMV := flag.Float64("chaos-spmv", 0, "chaos: per-SpMV soft-error corruption probability")
 	chaosComm := flag.Float64("chaos-comm", 0, "chaos: modeled comm-fault probability per message")
@@ -73,6 +81,18 @@ func main() {
 		WatchdogInterval: *watchdogInterval,
 		BreakerFailures:  *breakerFailures,
 		BreakerCooldown:  *breakerCooldown,
+		TuneEntries:      *tuneEntries,
+		TuneProbeIters:   *tuneProbeIters,
+	}
+	if *tuneStore != "" {
+		// Open the store here so a corrupt or unreadable file is fatal at
+		// startup instead of a silently memory-only daemon.
+		st, err := tune.OpenStore(*tuneStore, *tuneEntries)
+		if err != nil {
+			log.Fatalf("spcgd: %v", err)
+		}
+		cfg.TuneStore = st
+		log.Printf("spcgd: tune store %s (%d decisions)", *tuneStore, st.Len())
 	}
 	if *chaosPanic > 0 || *chaosSpMV > 0 || *chaosComm > 0 {
 		cfg.Chaos = &service.ChaosConfig{

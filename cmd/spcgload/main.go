@@ -3,7 +3,7 @@
 // snapshot:
 //
 //	spcgload [-addr http://localhost:8097] [-n 100] [-c 8]
-//	         [-methods pcg,pcg3,spcg,capcg,capcg3]
+//	         [-methods pcg,pcg3,spcg,capcg,capcg3,auto]
 //	         [-matrices poisson2d:16,poisson2d:24] [-precond jacobi]
 //	         [-s 4] [-tol 0] [-timeout 60s] [-out BENCH_serve.json]
 //
@@ -95,7 +95,7 @@ func main() {
 	addr := flag.String("addr", "http://localhost:8097", "spcgd base URL")
 	n := flag.Int("n", 100, "total requests")
 	c := flag.Int("c", 8, "concurrent clients")
-	methodsFlag := flag.String("methods", "pcg,pcg3,spcg,capcg,capcg3", "comma-separated methods to cycle")
+	methodsFlag := flag.String("methods", "pcg,pcg3,spcg,capcg,capcg3,auto", "comma-separated methods to cycle (auto = tuner-selected)")
 	matricesFlag := flag.String("matrices", "poisson2d:16,poisson2d:24", "comma-separated matrices to cycle")
 	precond := flag.String("precond", "jacobi", "preconditioner spec")
 	sVal := flag.Int("s", 4, "s-step block size")

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"testing"
+
+	"spcg/internal/perfmodel"
+)
+
+// TestPredictRowShape pins the contract RunPredict's consumers (RenderPredict
+// and the autotuner's model ranking) rely on: rows cycle the five Table 1
+// algorithms in perfmodel.Algorithms() order, once per node count, each with
+// a positive closed-form prediction.
+func TestPredictRowShape(t *testing.T) {
+	cfg := testConfig()
+	nodeCounts := []int{1, 2}
+	rows, err := RunPredict(cfg, 16, nodeCounts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algs := perfmodel.Algorithms()
+	if want := len(nodeCounts) * len(algs); len(rows) != want {
+		t.Fatalf("got %d rows, want %d (algorithms × node counts)", len(rows), want)
+	}
+	for i, r := range rows {
+		wantAlg := algs[i%len(algs)]
+		wantNodes := nodeCounts[i/len(algs)]
+		if r.Alg != wantAlg || r.Nodes != wantNodes {
+			t.Errorf("row %d = (%s, %d nodes), want (%s, %d nodes)", i, r.Alg, r.Nodes, wantAlg, wantNodes)
+		}
+		if r.Predicted <= 0 {
+			t.Errorf("row %d (%s, %d nodes): non-positive prediction %g", i, r.Alg, r.Nodes, r.Predicted)
+		}
+	}
+}
+
+// TestGlobalReductionsGolden pins the paper's headline Table 1 closed forms
+// the time model predicts from: standard PCG performs 2s global reductions
+// per s steps (two dot products per iteration), every s-step variant exactly
+// one. Checked for all five algorithms at s ∈ {2, 4, 8}, alongside the
+// consistency conditions the Table 1 rows must satisfy.
+func TestGlobalReductionsGolden(t *testing.T) {
+	for _, s := range []int{2, 4, 8} {
+		for _, alg := range perfmodel.Algorithms() {
+			want := 1
+			if alg == perfmodel.PCG {
+				want = 2 * s
+			}
+			if got := perfmodel.GlobalReductionsPerSSteps(alg, s); got != want {
+				t.Errorf("GlobalReductionsPerSSteps(%s, s=%d) = %d, want %d", alg, s, got, want)
+			}
+			c, err := perfmodel.Table1(alg, s)
+			if err != nil {
+				t.Fatalf("Table1(%s, s=%d): %v", alg, s, err)
+			}
+			// Per s steps every algorithm must touch A at least s times and
+			// produce reduction operands for its collectives.
+			if c.MVAndPrec < s {
+				t.Errorf("Table1(%s, s=%d): MVAndPrec = %d < s", alg, s, c.MVAndPrec)
+			}
+			if c.LocalReductions <= 0 {
+				t.Errorf("Table1(%s, s=%d): no local reduction work", alg, s)
+			}
+			if perfmodel.ReductionPayload(alg, s) <= 0 {
+				t.Errorf("ReductionPayload(%s, s=%d) not positive", alg, s)
+			}
+		}
+	}
+}

@@ -26,6 +26,26 @@ const (
 // Algorithms lists Table 1's rows in paper order.
 func Algorithms() []Algorithm { return []Algorithm{PCG, SPCGMon, SPCG, CAPCG, CAPCG3} }
 
+// ByName maps a lowercase serving method name ("pcg", "spcg", "spcgmon",
+// "capcg", "capcg3") to its Table 1 algorithm. Methods without a Table 1 row
+// (adaptive, pipelined, pcg3) report ok=false.
+func ByName(name string) (Algorithm, bool) {
+	switch name {
+	case "pcg":
+		return PCG, true
+	case "spcgmon":
+		return SPCGMon, true
+	case "spcg":
+		return SPCG, true
+	case "capcg":
+		return CAPCG, true
+	case "capcg3":
+		return CAPCG3, true
+	default:
+		return "", false
+	}
+}
+
 // Cost is one row of Table 1, all per s steps. FLOP columns are per system
 // matrix row (i.e. total FLOPs divided by n). A value of −1 marks the
 // paper's "−" (not applicable: PCG and sPCGmon support only the monomial

@@ -235,6 +235,22 @@ func (b *Breakers) Allow(key Key, now time.Time) (allowed, probe bool) {
 	return false, false
 }
 
+// Peek reports whether a request for key would be allowed now, without
+// mutating the circuit: unlike Allow, an open circuit whose cooldown has
+// elapsed stays open and its half-open probe slot is not consumed. Advisory
+// callers (the autotuner ranking candidate configurations) use Peek so that
+// merely *considering* a configuration never spends the probe admission the
+// real request path relies on.
+func (b *Breakers) Peek(key Key, now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	br := b.m[key]
+	if br == nil || br.state == BreakerClosed {
+		return true
+	}
+	return br.state == BreakerOpen && now.Sub(br.openedAt) >= b.cfg.Cooldown
+}
+
 // Record notes the outcome of a solve that was Allowed for key. A success
 // resets the failure count and closes the circuit; a failure increments it,
 // opening the circuit after cfg.Failures consecutive failures, and a failed

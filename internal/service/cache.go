@@ -2,75 +2,12 @@ package service
 
 import (
 	"container/list"
-	"fmt"
-	"strconv"
-	"strings"
 	"sync"
 
 	"spcg/internal/eig"
 	"spcg/internal/precond"
 	"spcg/internal/sparse"
 )
-
-// precondSpec is a parsed, canonicalized preconditioner request. The
-// canonical string doubles as the setup-cache key component, so "ssor" and
-// "ssor:1.0" share one cache entry.
-type precondSpec struct {
-	kind      string  // identity|jacobi|ssor|ic0|blockjacobi|chebyshev
-	omega     float64 // ssor
-	blocks    int     // blockjacobi
-	degree    int     // chebyshev
-	canonical string
-}
-
-// parsePrecond accepts "jacobi", "ssor:1.2", "blockjacobi:16",
-// "chebyshev:3", "ic0", "identity"/"none", and "" (defaults to jacobi).
-func parsePrecond(spec string) (precondSpec, error) {
-	name, arg := spec, ""
-	if i := strings.IndexByte(spec, ':'); i >= 0 {
-		name, arg = spec[:i], spec[i+1:]
-	}
-	switch strings.ToLower(strings.TrimSpace(name)) {
-	case "", "jacobi":
-		return precondSpec{kind: "jacobi", canonical: "jacobi"}, nil
-	case "identity", "none":
-		return precondSpec{kind: "identity", canonical: "identity"}, nil
-	case "ic0":
-		return precondSpec{kind: "ic0", canonical: "ic0"}, nil
-	case "ssor":
-		omega := 1.0
-		if arg != "" {
-			v, err := strconv.ParseFloat(arg, 64)
-			if err != nil || !(v > 0 && v < 2) {
-				return precondSpec{}, fmt.Errorf("bad ssor omega %q (need 0 < ω < 2)", arg)
-			}
-			omega = v
-		}
-		return precondSpec{kind: "ssor", omega: omega, canonical: fmt.Sprintf("ssor:%.4g", omega)}, nil
-	case "blockjacobi":
-		blocks := 16
-		if arg != "" {
-			v, err := strconv.Atoi(arg)
-			if err != nil || v < 1 {
-				return precondSpec{}, fmt.Errorf("bad blockjacobi block count %q", arg)
-			}
-			blocks = v
-		}
-		return precondSpec{kind: "blockjacobi", blocks: blocks, canonical: fmt.Sprintf("blockjacobi:%d", blocks)}, nil
-	case "chebyshev":
-		degree := 3
-		if arg != "" {
-			v, err := strconv.Atoi(arg)
-			if err != nil || v < 1 {
-				return precondSpec{}, fmt.Errorf("bad chebyshev degree %q", arg)
-			}
-			degree = v
-		}
-		return precondSpec{kind: "chebyshev", degree: degree, canonical: fmt.Sprintf("chebyshev:%d", degree)}, nil
-	default:
-		return precondSpec{}, fmt.Errorf("unknown preconditioner %q", spec)
-	}
-}
 
 // setupKey identifies the expensive per-matrix setup state: the matrix
 // content (by fingerprint) and the canonical preconditioner spec. The
@@ -95,13 +32,15 @@ type setupEntry struct {
 }
 
 // preconditioner returns the entry's preconditioner, building it on first use.
-func (e *setupEntry) preconditioner(a *sparse.CSR, spec precondSpec) (precond.Interface, error) {
+// Spec parsing and construction live in precond.Parse / precond.Spec.Build so
+// the autotuner and experiment harness share the exact same semantics.
+func (e *setupEntry) preconditioner(a *sparse.CSR, spec precond.Spec) (precond.Interface, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.prec != nil || e.precErr != nil {
 		return e.prec, e.precErr
 	}
-	e.prec, e.precErr = buildPreconditioner(a, spec)
+	e.prec, e.precErr = spec.Build(a)
 	return e.prec, e.precErr
 }
 
@@ -109,7 +48,7 @@ func (e *setupEntry) preconditioner(a *sparse.CSR, spec precondSpec) (precond.In
 // preconditioner, computing it once (the paper's "a few iterations of
 // standard PCG" setup step, here amortized across all requests that hit the
 // entry).
-func (e *setupEntry) spectrumFor(a *sparse.CSR, spec precondSpec, s int) (*eig.Estimate, error) {
+func (e *setupEntry) spectrumFor(a *sparse.CSR, spec precond.Spec, s int) (*eig.Estimate, error) {
 	m, err := e.preconditioner(a, spec)
 	if err != nil {
 		return nil, err
@@ -129,30 +68,6 @@ func (e *setupEntry) spectrumFor(a *sparse.CSR, spec precondSpec, s int) (*eig.E
 	}
 	e.spectrum, e.specErr = eig.RitzFromPCG(a, applyM, eig.Options{Iterations: iters})
 	return e.spectrum, e.specErr
-}
-
-func buildPreconditioner(a *sparse.CSR, spec precondSpec) (precond.Interface, error) {
-	switch spec.kind {
-	case "identity":
-		return precond.NewIdentity(a.Dim()), nil
-	case "jacobi":
-		return precond.NewJacobi(a)
-	case "ssor":
-		return precond.NewSSOR(a, spec.omega)
-	case "ic0":
-		return precond.NewIC0(a)
-	case "blockjacobi":
-		return precond.NewBlockJacobi(a, spec.blocks)
-	case "chebyshev":
-		// The polynomial preconditioner needs bounds on A's own spectrum.
-		est, err := eig.RitzFromPCG(a, nil, eig.Options{Iterations: 20})
-		if err != nil {
-			return nil, fmt.Errorf("chebyshev setup: %w", err)
-		}
-		return precond.NewChebyshev(a, spec.degree, est.LambdaMin, est.LambdaMax)
-	default:
-		return nil, fmt.Errorf("unknown preconditioner kind %q", spec.kind)
-	}
 }
 
 // setupCache is the LRU cache of setupEntries. A get that finds the key

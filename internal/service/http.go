@@ -15,6 +15,8 @@ import (
 //	GET  /jobs/{id}        — poll a job
 //	POST /jobs/{id}/cancel — cooperative cancellation
 //	GET  /matrices         — registered matrix names
+//	POST /tune             — force a synchronous tuning run for a matrix
+//	GET  /tune/{matrix}    — the stored tuning decision for a matrix
 //	GET  /metrics          — serving counters: Prometheus text by default,
 //	                         the structured JSON view with ?format=json
 //	GET  /healthz          — liveness; 503 while draining
@@ -24,6 +26,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleJobCancel)
 	mux.HandleFunc("GET /matrices", s.handleMatrices)
+	mux.HandleFunc("POST /tune", s.handleTune)
+	mux.HandleFunc("GET /tune/{matrix}", s.handleTuneGet)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
@@ -107,6 +111,51 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMatrices(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string][]string{"matrices": s.Matrices()})
+}
+
+// handleTune forces a full synchronous tuning run: seed, trials, persist,
+// return the decision. The run blocks the request (trial probes are capped,
+// so this is seconds, not a full solve campaign).
+func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Matrix string `json:"matrix"`
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if req.Matrix == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "missing matrix"})
+		return
+	}
+	d, err := s.TuneNow(req.Matrix)
+	switch {
+	case errors.Is(err, ErrShuttingDown):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	case err != nil && d == nil:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	case err != nil:
+		// Tuned but not persisted: the decision is still usable this process.
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusOK, d)
+	}
+}
+
+// handleTuneGet serves the stored decision for a matrix, 404 when untuned.
+func (s *Server) handleTuneGet(w http.ResponseWriter, r *http.Request) {
+	d, err := s.TuneDecision(r.PathValue("matrix"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	if d == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "matrix not tuned"})
+		return
+	}
+	writeJSON(w, http.StatusOK, d)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -9,6 +9,7 @@ import (
 	"spcg/internal/obs"
 	"spcg/internal/resilience"
 	"spcg/internal/solver"
+	"spcg/internal/tune"
 )
 
 // JobState is the lifecycle of one solve request.
@@ -75,6 +76,14 @@ type SolveResult struct {
 	// Phases is the per-phase time/count breakdown of the solve, present
 	// when the request set "trace": true.
 	Phases []obs.PhaseStat `json:"phases,omitempty"`
+	// TuneSource records how a method:"auto" request was resolved: "store"
+	// (persisted tuned winner), "seed" (model-ranked guess served while
+	// background trials ran) or "fallback" (seeding failed; safe PCG floor).
+	TuneSource string `json:"tune_source,omitempty"`
+	// TunedConfig is the configuration the autotuner selected for a
+	// method:"auto" request (before any breaker degradation, which Method /
+	// DegradedFrom report as usual).
+	TunedConfig *tune.Candidate `json:"tuned_config,omitempty"`
 }
 
 // JobStatus is the JSON document served for one job.

@@ -56,6 +56,15 @@ type metrics struct {
 	commRetries     *obs.Counter
 	srv             *Server // bound by bindResilience for scrape-time funcs
 
+	// Autotuning families (see docs/TUNING.md).
+	tuneRequests    *obs.Counter
+	tuneStoreHits   *obs.Counter
+	tuneStoreMisses *obs.Counter
+	tuneTrials      *obs.Counter
+	tuneBreakdowns  *obs.Counter
+	tuneRuns        *obs.Counter
+	tuneStoreErrors *obs.Counter
+
 	mu      sync.Mutex
 	latency map[string]*obs.Histogram // per solver method
 }
@@ -113,6 +122,14 @@ func newMetrics(start time.Time, cache *setupCache) *metrics {
 	m.breakerRestored = reg.Counter("spcgd_breaker_restored_total", "Circuit-breaker restorations (successful half-open probes closing the circuit).")
 	m.commRetries = reg.Counter("spcgd_comm_retries_total", "Modeled communication retries charged by chaos fault trackers, summed over jobs.")
 
+	m.tuneRequests = reg.Counter("spcgd_tune_requests_total", "method:\"auto\" requests resolved through the autotuner.")
+	m.tuneStoreHits = reg.Counter("spcgd_tune_store_hits_total", "Auto resolutions served from a persisted tuning decision.")
+	m.tuneStoreMisses = reg.Counter("spcgd_tune_store_misses_total", "Auto resolutions that found no stored decision (seeded guess served, background trials started).")
+	m.tuneTrials = reg.Counter("spcgd_tune_trials_total", "Capped-iteration tuning probe solves executed.")
+	m.tuneBreakdowns = reg.Counter("spcgd_tune_trial_breakdowns_total", "Tuning probes that ended in numerical breakdown (their candidate is eliminated).")
+	m.tuneRuns = reg.Counter("spcgd_tune_runs_total", "Completed tuning runs that produced a stored decision.")
+	m.tuneStoreErrors = reg.Counter("spcgd_tune_store_errors_total", "Tune-store persistence failures (open or write).")
+
 	// The pool engine owns its kernel counters (process-wide atomics); expose
 	// them read-through so /metrics shows whether fusion is engaged in
 	// production, not just in benchmarks.
@@ -154,6 +171,13 @@ func (m *metrics) bindResilience(s *Server) {
 		m.reg.CounterFunc("spcgd_chaos_panics_injected_total", "Panics injected by the chaos layer (chaos mode only).",
 			s.chaos.injectedPanics)
 	}
+}
+
+// bindTune registers the scrape-time tune-store gauge once the server's
+// tuner exists (same pattern as bindResilience).
+func (m *metrics) bindTune(s *Server) {
+	m.reg.GaugeFunc("spcgd_tune_store_entries", "Tuning decisions currently resident in the store.",
+		func() float64 { return float64(s.tuner.store.Len()) })
 }
 
 // observe records one request latency under its solver method label.
@@ -226,6 +250,19 @@ type MetricsSnapshot struct {
 		ShedRate        float64 `json:"shed_rate"`
 	} `json:"resilience"`
 
+	// Tune summarizes the autotuning subsystem: how method:"auto" requests
+	// resolved and what the trial schedule has been doing.
+	Tune struct {
+		Requests        int64 `json:"requests_total"`
+		StoreHits       int64 `json:"store_hits_total"`
+		StoreMisses     int64 `json:"store_misses_total"`
+		Trials          int64 `json:"trials_total"`
+		TrialBreakdowns int64 `json:"trial_breakdowns_total"`
+		Runs            int64 `json:"runs_total"`
+		StoreErrors     int64 `json:"store_errors_total"`
+		StoreEntries    int   `json:"store_entries"`
+	} `json:"tune"`
+
 	// Kernels exposes the shared worker-pool engine's counters (process-wide,
 	// not per-request): pool dispatches vs inline fallbacks, how often the
 	// fused Gram/combine/basis-step kernels ran, and the effective worker
@@ -276,6 +313,16 @@ func (m *metrics) snapshot(start time.Time, cache *setupCache) MetricsSnapshot {
 		s.Resilience.ShedRate = m.srv.shed.Rate()
 	}
 	s.Resilience.CommRetries = m.commRetries.Value()
+	s.Tune.Requests = m.tuneRequests.Value()
+	s.Tune.StoreHits = m.tuneStoreHits.Value()
+	s.Tune.StoreMisses = m.tuneStoreMisses.Value()
+	s.Tune.Trials = m.tuneTrials.Value()
+	s.Tune.TrialBreakdowns = m.tuneBreakdowns.Value()
+	s.Tune.Runs = m.tuneRuns.Value()
+	s.Tune.StoreErrors = m.tuneStoreErrors.Value()
+	if m.srv != nil {
+		s.Tune.StoreEntries = m.srv.tuner.store.Len()
+	}
 	s.Kernels = pool.ReadStats()
 	s.Latency = map[string]LatencySnapshot{}
 	m.mu.Lock()

@@ -35,6 +35,7 @@ import (
 	"spcg/internal/resilience"
 	"spcg/internal/solver"
 	"spcg/internal/sparse"
+	"spcg/internal/tune"
 	"spcg/internal/vec"
 )
 
@@ -93,6 +94,19 @@ type Config struct {
 	// Chaos, when non-nil, turns on service-level fault injection (injected
 	// panics, solver soft errors, modeled comm faults) for chaos testing.
 	Chaos *ChaosConfig
+	// TunePath is where the autotuning decision store persists (JSON;
+	// "" = memory-only, decisions die with the process).
+	TunePath string
+	// TuneEntries bounds retained tuning decisions, LRU-evicted (default 128).
+	TuneEntries int
+	// TuneProbeIters is the iteration cap of the first tuning trial round;
+	// each successive-halving round quadruples it (default 40).
+	TuneProbeIters int
+	// TuneRounds is the number of successive-halving trial rounds (default 3).
+	TuneRounds int
+	// TuneStore overrides TunePath with a caller-opened store (lets cmd/spcgd
+	// make store-open failures fatal instead of falling back to memory-only).
+	TuneStore *tune.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -147,6 +161,15 @@ func (c Config) withDefaults() Config {
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 30 * time.Second
 	}
+	if c.TuneEntries < 1 {
+		c.TuneEntries = 128
+	}
+	if c.TuneProbeIters < 1 {
+		c.TuneProbeIters = 40
+	}
+	if c.TuneRounds < 1 {
+		c.TuneRounds = 3
+	}
 	return c
 }
 
@@ -161,27 +184,14 @@ var ErrShuttingDown = fmt.Errorf("service: shutting down")
 // the HTTP layer maps it to 400.
 var ErrLimitExceeded = fmt.Errorf("service: request exceeds configured limits")
 
-// solverFn is the shared solver signature served by the method table.
-type solverFn = func(*sparse.CSR, precond.Interface, []float64, solver.Options) ([]float64, *solver.Stats, error)
+// ErrBadBasis is returned by Submit when SolveRequest.Basis names an unknown
+// polynomial basis; the HTTP layer maps it to 400.
+var ErrBadBasis = fmt.Errorf("service: unknown basis")
 
-func methodTable() map[string]solverFn {
-	return map[string]solverFn{
-		"pcg":       solver.PCG,
-		"pcg3":      solver.PCG3,
-		"spcg":      solver.SPCG,
-		"spcgmon":   solver.SPCGMon,
-		"capcg":     solver.CAPCG,
-		"capcg3":    solver.CAPCG3,
-		"adaptive":  solver.SPCGAdaptive,
-		"pipelined": solver.PipelinedPCG,
-	}
-}
-
-// needsSpectrum lists the methods whose non-monomial bases want λ estimates
-// of M⁻¹A (the cacheable Lanczos setup step).
-var needsSpectrum = map[string]bool{
-	"spcg": true, "capcg": true, "capcg3": true, "adaptive": true,
-}
+// methodTable resolves the wire method names; the registry itself lives in
+// the solver package (solver.Methods) so the autotuner and experiments share
+// the same name → solver mapping.
+func methodTable() map[string]solver.Method { return solver.Methods() }
 
 // degradeNext is the circuit-breaker degradation ladder: when the breaker
 // for (matrix, method, s) is open, the request falls through to the next
@@ -230,11 +240,16 @@ type Server struct {
 	shed     *resilience.RateWindow
 	chaos    *chaosState // nil unless Config.Chaos was set
 
+	tuner *tuneState
+
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
 	queue chan *workItem
 	wg    sync.WaitGroup
+	// bg tracks background tuning goroutines; Shutdown waits for them after
+	// the worker pool drains.
+	bg sync.WaitGroup
 
 	mu       sync.Mutex
 	closed   bool
@@ -272,7 +287,9 @@ func New(cfg Config) *Server {
 	if cfg.Chaos != nil {
 		s.chaos = newChaosState(*cfg.Chaos)
 	}
+	s.tuner = newTuneState(cfg, s.met)
 	s.met.bindResilience(s)
+	s.met.bindTune(s)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -287,18 +304,19 @@ func (s *Server) validate(req *SolveRequest) error {
 	if req.Method == "" {
 		req.Method = "pcg"
 	}
-	if _, ok := methodTable()[req.Method]; !ok {
+	if _, ok := methodTable()[req.Method]; !ok && req.Method != "auto" {
 		return fmt.Errorf("unknown method %q", req.Method)
 	}
 	if strings.TrimSpace(req.Matrix) == "" {
 		return fmt.Errorf("missing matrix")
 	}
-	if _, err := parsePrecond(req.Precond); err != nil {
+	if _, err := precond.Parse(req.Precond); err != nil {
 		return err
 	}
+	req.Basis = strings.ToLower(strings.TrimSpace(req.Basis))
 	if req.Basis != "" {
 		if _, err := basis.ParseType(req.Basis); err != nil {
-			return err
+			return fmt.Errorf("%w %q (want monomial, newton or chebyshev)", ErrBadBasis, req.Basis)
 		}
 	}
 	if req.Tol < 0 || req.MaxIters < 0 || req.S < 0 || req.TimeoutMS < 0 {
@@ -370,8 +388,8 @@ func (s *Server) enqueueBatchedLocked(j *job) {
 		tol:      j.req.Tol,
 		maxIters: j.req.MaxIters,
 	}
-	spec, _ := parsePrecond(j.req.Precond) // validated in Submit
-	key.prec = spec.canonical
+	spec, _ := precond.Parse(j.req.Precond) // validated in Submit
+	key.prec = spec.Canonical()
 
 	pb := s.pending[key]
 	if pb == nil {
@@ -488,6 +506,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
+		s.bg.Wait() // background tuning probes observe baseCtx, so they unwind too
 		close(done)
 	}()
 	var err error
@@ -499,6 +518,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-done
 	}
 	s.baseCancel()
+	// Persist Get-side recency updates so the LRU order survives restarts.
+	if ferr := s.tuner.store.Flush(); ferr != nil {
+		s.met.tuneStoreErrors.Inc()
+	}
 	return err
 }
 
@@ -558,12 +581,22 @@ func (s *Server) run(item *workItem) {
 		s.failAll(live, err)
 		return
 	}
-	spec, err := parsePrecond(lead.req.Precond)
+	// method:"auto" resolves through the tuner once the fingerprint is known
+	// and before setup, because the tuned configuration may pick a different
+	// preconditioner than the request carried. Auto requests never coalesce
+	// (Submit batches only literal "pcg"), so this is always the solo path.
+	eff := lead.req
+	var tuneSource string
+	var tuned *tune.Candidate
+	if eff.Method == "auto" {
+		eff, tuneSource, tuned = s.resolveAuto(a, fp, eff)
+	}
+	spec, err := precond.Parse(eff.Precond)
 	if err != nil {
 		s.failAll(live, err)
 		return
 	}
-	entry, _ := s.cache.get(setupKey{fp: fp, prec: spec.canonical})
+	entry, _ := s.cache.get(setupKey{fp: fp, prec: spec.Canonical()})
 	m, err := entry.preconditioner(a, spec)
 	if err != nil {
 		s.failAll(live, err)
@@ -574,7 +607,7 @@ func (s *Server) run(item *workItem) {
 		s.runBatch(live, a, m)
 		return
 	}
-	s.runSolo(lead, a, fp, m, entry, spec)
+	s.runSolo(lead, eff, tuneSource, tuned, a, fp, m, entry, spec)
 }
 
 func (s *Server) failAll(jobs []*job, err error) {
@@ -650,13 +683,13 @@ func (s *Server) watchStagnation(opts *solver.Options, stop <-chan struct{}, job
 	})
 }
 
-// runSolo executes one job with the requested method — or, when the circuit
-// breaker for its (matrix, method, s) tuple is open, the next rung of the
-// degradation ladder. A stagnation watchdog samples the solve's heartbeat
-// and kills it well before the wall-clock deadline when the residual stops
-// improving.
-func (s *Server) runSolo(j *job, a *sparse.CSR, fp uint64, m precond.Interface, entry *setupEntry, spec precondSpec) {
-	req := j.req
+// runSolo executes one job with the effective request's method — or, when
+// the circuit breaker for its (matrix, method, s) tuple is open, the next
+// rung of the degradation ladder. req is the request as resolved (it differs
+// from j.req for method:"auto"). A stagnation watchdog samples the solve's
+// heartbeat and kills it well before the wall-clock deadline when the
+// residual stops improving.
+func (s *Server) runSolo(j *job, req SolveRequest, tuneSource string, tuned *tune.Candidate, a *sparse.CSR, fp uint64, m precond.Interface, entry *setupEntry, spec precond.Spec) {
 	method, key, gated, degradedFrom := s.applyBreaker(fp, req)
 	if gated {
 		j.setBreakerKey(key)
@@ -669,7 +702,7 @@ func (s *Server) runSolo(j *job, a *sparse.CSR, fp uint64, m precond.Interface, 
 	if req.Trace {
 		opts.Trace = obs.New(0) // per-job tracer; Stats.Phases flows to the result
 	}
-	if needsSpectrum[method] && opts.Basis != basis.Monomial {
+	if solver.NeedsSpectrum(method) && opts.Basis != basis.Monomial {
 		sVal := opts.S
 		if sVal <= 0 {
 			sVal = 10
@@ -696,6 +729,8 @@ func (s *Server) runSolo(j *job, a *sparse.CSR, fp uint64, m precond.Interface, 
 	res := statsToResult(stats, err, false, 1, elapsed, norm2(x))
 	res.Method = method
 	res.DegradedFrom = degradedFrom
+	res.TuneSource = tuneSource
+	res.TunedConfig = tuned
 	s.recordSolve(stats, true)
 	stagnated, reason := j.stagnatedInfo()
 	if gated {

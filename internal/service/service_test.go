@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"spcg/internal/pool"
+	"spcg/internal/precond"
 	"spcg/internal/sparse"
 )
 
@@ -454,13 +455,13 @@ func TestParsePrecondCanonical(t *testing.T) {
 		{"chebyshev:3", "chebyshev:3"},
 	}
 	for _, c := range cases {
-		spec, err := parsePrecond(c[0])
+		spec, err := precond.Parse(c[0])
 		if err != nil {
-			t.Errorf("parsePrecond(%q): %v", c[0], err)
+			t.Errorf("precond.Parse(%q): %v", c[0], err)
 			continue
 		}
-		if spec.canonical != c[1] {
-			t.Errorf("parsePrecond(%q).canonical = %q, want %q", c[0], spec.canonical, c[1])
+		if spec.Canonical() != c[1] {
+			t.Errorf("precond.Parse(%q).Canonical() = %q, want %q", c[0], spec.Canonical(), c[1])
 		}
 	}
 }

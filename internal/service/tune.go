@@ -1,0 +1,269 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"spcg/internal/basis"
+	"spcg/internal/precond"
+	"spcg/internal/resilience"
+	"spcg/internal/solver"
+	"spcg/internal/sparse"
+	"spcg/internal/tune"
+)
+
+// tuneState is the server's autotuning layer: the persistent decision store
+// plus in-flight background-tune deduplication.
+type tuneState struct {
+	store *tune.Store
+	cfg   tune.Config
+
+	mu       sync.Mutex
+	inflight map[uint64]bool
+}
+
+// newTuneState wires the store from Config. A store that fails to open falls
+// back to memory-only so the daemon still serves (the error is surfaced via
+// spcgd_tune_store_errors_total); operators who want open failures to be
+// fatal open the store themselves and pass Config.TuneStore.
+func newTuneState(cfg Config, met *metrics) *tuneState {
+	t := &tuneState{
+		store:    cfg.TuneStore,
+		inflight: map[uint64]bool{},
+		cfg: tune.Config{
+			ProbeIters: cfg.TuneProbeIters,
+			Rounds:     cfg.TuneRounds,
+		},
+	}
+	if t.store == nil {
+		st, err := tune.OpenStore(cfg.TunePath, cfg.TuneEntries)
+		if err != nil {
+			met.tuneStoreErrors.Inc()
+			st, _ = tune.OpenStore("", cfg.TuneEntries)
+		}
+		t.store = st
+	}
+	return t
+}
+
+// resolveAuto maps a method:"auto" request onto a concrete configuration.
+// Warm path: the stored winner (or the best-ranked fallback whose circuit
+// breaker currently admits requests). Cold path: the static seeder's best
+// model-ranked guess serves this request immediately while trials run in the
+// background; the tuned decision lands in the store for every later request.
+func (s *Server) resolveAuto(a *sparse.CSR, fp uint64, req SolveRequest) (SolveRequest, string, *tune.Candidate) {
+	s.met.tuneRequests.Inc()
+	if d, ok := s.tuner.store.Get(fp); ok {
+		s.met.tuneStoreHits.Inc()
+		cands := make([]tune.Candidate, 0, len(d.Ranked))
+		for _, rc := range d.Ranked {
+			cands = append(cands, rc.Candidate)
+		}
+		c := s.pickAllowed(fp, cands)
+		return applyCandidate(req, c), "store", &c
+	}
+	s.met.tuneStoreMisses.Inc()
+	plan, err := tune.Seed(a, s.tuner.cfg)
+	if err != nil {
+		// Spectral probe failed (e.g. the operator is barely SPD): serve the
+		// paper's safe floor rather than failing the request.
+		c := tune.Candidate{Method: "pcg", Precond: "jacobi"}
+		return applyCandidate(req, c), "fallback", &c
+	}
+	c := s.pickAllowed(fp, plan.Candidates)
+	s.startBackgroundTune(a, fp, req.Matrix, plan)
+	return applyCandidate(req, c), "seed", &c
+}
+
+// applyCandidate overwrites the request's solver configuration with the
+// tuner's choice; everything else (tol, deadline, rhs, trace) stays the
+// caller's.
+func applyCandidate(req SolveRequest, c tune.Candidate) SolveRequest {
+	req.Method = c.Method
+	req.S = c.S
+	req.Basis = c.Basis
+	req.Precond = c.Precond
+	return req
+}
+
+// pickAllowed returns the first candidate whose circuit breaker currently
+// admits requests, using the non-mutating Peek so that ranking candidates
+// never consumes a half-open probe slot. When every candidate is denied the
+// ungated PCG floor is served.
+func (s *Server) pickAllowed(fp uint64, cands []tune.Candidate) tune.Candidate {
+	now := time.Now()
+	for _, c := range cands {
+		if s.breakers == nil {
+			return c
+		}
+		if _, gated := degradeNext[c.Method]; !gated {
+			return c // pcg, pcg3, pipelined: never breaker-gated
+		}
+		sVal := c.S
+		if sVal <= 0 {
+			sVal = 10
+		}
+		if s.breakers.Peek(resilience.Key{Fingerprint: fp, Method: c.Method, S: sVal}, now) {
+			return c
+		}
+	}
+	return tune.Candidate{Method: "pcg", Precond: "jacobi"}
+}
+
+// startBackgroundTune launches the trial schedule for fp unless one is
+// already running or the server is draining. The goroutine is tracked by
+// s.bg so Shutdown waits for it; probes observe the base context and unwind
+// promptly on a forced shutdown.
+func (s *Server) startBackgroundTune(a *sparse.CSR, fp uint64, matrix string, plan *tune.Plan) {
+	s.tuner.mu.Lock()
+	if s.tuner.inflight[fp] {
+		s.tuner.mu.Unlock()
+		return
+	}
+	s.tuner.inflight[fp] = true
+	s.tuner.mu.Unlock()
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.clearInflight(fp)
+		return
+	}
+	s.bg.Add(1)
+	s.mu.Unlock()
+
+	go func() {
+		defer s.bg.Done()
+		defer s.clearInflight(fp)
+		if err := resilience.Safe(func() { s.runTrials(a, fp, matrix, plan) }); err != nil {
+			s.met.panics.Inc()
+		}
+	}()
+}
+
+func (s *Server) clearInflight(fp uint64) {
+	s.tuner.mu.Lock()
+	delete(s.tuner.inflight, fp)
+	s.tuner.mu.Unlock()
+}
+
+// runTrials executes the successive-halving schedule and persists the
+// decision.
+func (s *Server) runTrials(a *sparse.CSR, fp uint64, matrix string, plan *tune.Plan) {
+	d, err := tune.Run(plan, &cacheRunner{s: s, a: a, fp: fp}, s.tuner.cfg)
+	if err != nil {
+		return // all candidates eliminated or shutdown mid-trials; nothing to store
+	}
+	d.Matrix = matrix
+	s.met.tuneRuns.Inc()
+	if err := s.tuner.store.Put(d); err != nil {
+		s.met.tuneStoreErrors.Inc()
+	}
+}
+
+// TuneNow forces a full synchronous tuning run for a registered matrix (the
+// POST /tune path) and returns the persisted decision.
+func (s *Server) TuneNow(matrix string) (*tune.Decision, error) {
+	if s.Draining() {
+		return nil, ErrShuttingDown
+	}
+	if err := s.reg.sizeCheck(matrix); err != nil {
+		return nil, err
+	}
+	a, fp, err := s.reg.get(matrix)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := tune.Seed(a, s.tuner.cfg)
+	if err != nil {
+		return nil, err
+	}
+	d, err := tune.Run(plan, &cacheRunner{s: s, a: a, fp: fp}, s.tuner.cfg)
+	if err != nil {
+		return nil, err
+	}
+	d.Matrix = matrix
+	s.met.tuneRuns.Inc()
+	if err := s.tuner.store.Put(d); err != nil {
+		s.met.tuneStoreErrors.Inc()
+		return d, fmt.Errorf("tuned, but persisting failed: %w", err)
+	}
+	return d, nil
+}
+
+// TuneDecision returns the stored decision for a registered matrix, if any.
+func (s *Server) TuneDecision(matrix string) (*tune.Decision, error) {
+	if err := s.reg.sizeCheck(matrix); err != nil {
+		return nil, err
+	}
+	_, fp, err := s.reg.get(matrix)
+	if err != nil {
+		return nil, err
+	}
+	d, ok := s.tuner.store.Get(fp)
+	if !ok {
+		return nil, nil
+	}
+	return d, nil
+}
+
+// cacheRunner is the service's tune.Runner: probes share the daemon's setup
+// cache, so trial solves reuse (and warm) the same preconditioners and
+// spectral estimates production requests hit.
+type cacheRunner struct {
+	s  *Server
+	a  *sparse.CSR
+	fp uint64
+}
+
+func (r *cacheRunner) Probe(c tune.Candidate, maxIters int, tol float64) tune.Outcome {
+	r.s.met.tuneTrials.Inc()
+	solve, ok := solver.ByName(c.Method)
+	if !ok {
+		return tune.Outcome{Err: fmt.Sprintf("unknown method %q", c.Method)}
+	}
+	spec, err := precond.Parse(c.Precond)
+	if err != nil {
+		return tune.Outcome{Err: err.Error()}
+	}
+	entry, _ := r.s.cache.get(setupKey{fp: r.fp, prec: spec.Canonical()})
+	m, err := entry.preconditioner(r.a, spec)
+	if err != nil {
+		return tune.Outcome{Err: err.Error()}
+	}
+	opts := solver.Options{
+		S:             c.S,
+		Tol:           tol,
+		MaxIterations: maxIters,
+		Cancel:        r.s.baseCtx.Done(),
+		Basis:         basis.Chebyshev,
+	}
+	if c.Basis != "" {
+		t, err := basis.ParseType(c.Basis)
+		if err != nil {
+			return tune.Outcome{Err: err.Error()}
+		}
+		opts.Basis = t
+	}
+	if solver.NeedsSpectrum(c.Method) && opts.Basis != basis.Monomial {
+		sVal := c.S
+		if sVal <= 0 {
+			sVal = 10
+		}
+		if est, err := entry.spectrumFor(r.a, spec, sVal); err == nil {
+			opts.Spectrum = est
+		}
+	}
+	b, err := buildRHS("", r.a.Dim())
+	if err != nil {
+		return tune.Outcome{Err: err.Error()}
+	}
+	t0 := time.Now()
+	_, stats, err := solve(r.a, m, b, opts)
+	o := tune.ProbeOutcome(stats, err, time.Since(t0))
+	if o.Breakdown != "" {
+		r.s.met.tuneBreakdowns.Inc()
+	}
+	return o
+}

@@ -48,6 +48,40 @@ func TestFingerprintSensitivity(t *testing.T) {
 	}
 }
 
+// TestFingerprintGolden pins the hash of a hand-built matrix. The fingerprint
+// is a persistence format, not just an in-process cache key: the tune store
+// (internal/tune) keys decisions by its hex rendering across daemon restarts,
+// so any change to the hashing scheme — field order, the dimension prefix,
+// the FNV parameters — silently orphans every stored decision. Such a change
+// must fail here and ship with a store schema-version bump.
+func TestFingerprintGolden(t *testing.T) {
+	a := &CSR{
+		N:      3,
+		RowPtr: []int{0, 2, 4, 6},
+		ColIdx: []int{0, 1, 0, 1, 1, 2},
+		Val:    []float64{4, -1, -1, 4, -1, 4},
+	}
+	const golden = uint64(0x7b3ee5795798a6c8)
+	if fp := a.Fingerprint(); fp != golden {
+		t.Errorf("fingerprint = %#016x, want pinned %#016x (hash scheme changed — bump tune.StoreVersion)", fp, golden)
+	}
+}
+
+// TestFingerprintDimensionPrefix: the dimension is hashed before the array
+// streams, so two matrices whose stored arrays are byte-identical but claim
+// different dimensions must not collide (the prefix disambiguates field
+// boundaries in the flat hash stream).
+func TestFingerprintDimensionPrefix(t *testing.T) {
+	rowPtr := []int{0, 2, 4, 6}
+	colIdx := []int{0, 1, 0, 1, 1, 2}
+	val := []float64{4, -1, -1, 4, -1, 4}
+	a := &CSR{N: 3, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+	b := &CSR{N: 4, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("dimension not reflected in fingerprint: identical arrays with different N collide")
+	}
+}
+
 // TestFingerprintCollisionsAcrossGenerators is the collision sanity check on
 // the generator families: matrices of different family, size or difficulty
 // must all hash differently.

@@ -1,0 +1,270 @@
+package tune
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"spcg/internal/basis"
+	"spcg/internal/eig"
+	"spcg/internal/precond"
+	"spcg/internal/solver"
+	"spcg/internal/sparse"
+)
+
+// Outcome is what one probe solve of one candidate reports.
+type Outcome struct {
+	Iterations int     `json:"iterations"`
+	Relative   float64 `json:"relative"` // final relative criterion value
+	ElapsedMS  float64 `json:"elapsed_ms"`
+	Converged  bool    `json:"converged"`
+	// Breakdown is the numerical-breakdown description when the probe died
+	// (rank-deficient Gram system, non-positive curvature, ...). A candidate
+	// with any breakdown is eliminated and can never win.
+	Breakdown string `json:"breakdown,omitempty"`
+	// Err is a non-numerical probe failure (setup error, cancellation).
+	Err string `json:"err,omitempty"`
+}
+
+// Trial is one scored probe in the successive-halving schedule.
+type Trial struct {
+	Round     int       `json:"round"`
+	IterCap   int       `json:"iter_cap"`
+	Candidate Candidate `json:"candidate"`
+	Outcome   Outcome   `json:"outcome"`
+	// Score is elapsed milliseconds per decade of residual reduction (lower
+	// is better); 0 for eliminated trials (see Eliminated).
+	Score float64 `json:"score,omitempty"`
+	// Eliminated is the reason this trial knocked its candidate out.
+	Eliminated string `json:"eliminated,omitempty"`
+}
+
+// Runner executes one capped probe solve for a candidate. The service
+// implements it over its setup cache; DirectRunner is the standalone
+// implementation used by experiments and tests.
+type Runner interface {
+	Probe(c Candidate, maxIters int, tol float64) Outcome
+}
+
+// score converts an outcome into milliseconds per decade of residual
+// reduction. Breakdown, error, or no measurable progress eliminates the
+// candidate (second return non-empty).
+func score(o Outcome) (float64, string) {
+	if o.Breakdown != "" {
+		return 0, "breakdown: " + o.Breakdown
+	}
+	if o.Err != "" {
+		return 0, "probe error: " + o.Err
+	}
+	if !(o.Relative > 0) || o.Relative >= 1 {
+		return 0, fmt.Sprintf("no residual progress (relative %.3g after %d iterations)", o.Relative, o.Iterations)
+	}
+	decades := -math.Log10(o.Relative)
+	if decades < 0.1 {
+		decades = 0.1 // floor so near-stagnant probes score terribly, not infinitely
+	}
+	elapsed := o.ElapsedMS
+	if elapsed <= 0 {
+		elapsed = 1e-3 // sub-resolution probe on a tiny matrix; keep ordering by decades
+	}
+	return elapsed / decades, ""
+}
+
+// Run executes the plan's candidates through r with successive halving:
+// every survivor is probed at the round's iteration cap, scored, the field
+// is halved, and the cap quadruples. Eliminated candidates (breakdown, no
+// progress) never advance and never win. The returned Decision is not yet
+// persisted — callers Put it into a Store.
+func Run(plan *Plan, r Runner, cfg Config) (*Decision, error) {
+	cfg = cfg.withDefaults()
+	if len(plan.Candidates) == 0 {
+		return nil, errors.New("tune: empty plan")
+	}
+	d := &Decision{
+		Fingerprint: FpString(plan.Fingerprint),
+		Cond:        plan.Cond,
+		Source:      "tuned",
+		CreatedUnix: time.Now().Unix(),
+	}
+
+	type standing struct {
+		c     Candidate
+		score float64
+	}
+	field := make([]standing, 0, len(plan.Candidates))
+	for _, c := range plan.Candidates {
+		field = append(field, standing{c: c})
+	}
+
+	cap_ := cfg.ProbeIters
+	for round := 0; round < cfg.Rounds && len(field) > 0; round++ {
+		for i := range field {
+			o := r.Probe(field[i].c, cap_, cfg.Tol)
+			t := Trial{Round: round, IterCap: cap_, Candidate: field[i].c, Outcome: o}
+			t.Score, t.Eliminated = score(o)
+			d.Trials = append(d.Trials, t)
+			field[i].score = t.Score
+		}
+		// Drop eliminated candidates, then keep the better half (floor 1).
+		kept := field[:0]
+		for _, st := range field {
+			if eliminatedIn(d.Trials, st.c) == "" {
+				kept = append(kept, st)
+			}
+		}
+		field = kept
+		sort.SliceStable(field, func(i, j int) bool { return field[i].score < field[j].score })
+		if round < cfg.Rounds-1 {
+			half := (len(field) + 1) / 2
+			if half < 1 {
+				half = 1
+			}
+			field = field[:half]
+			cap_ *= 4
+		}
+	}
+
+	if len(field) == 0 {
+		return nil, fmt.Errorf("tune: every candidate was eliminated (%d trials)", len(d.Trials))
+	}
+	for _, st := range field {
+		d.Ranked = append(d.Ranked, RankedCandidate{Candidate: st.c, Score: st.score})
+	}
+	d.Winner = d.Ranked[0].Candidate
+	return d, nil
+}
+
+// eliminatedIn reports the elimination reason recorded for c, if any.
+func eliminatedIn(trials []Trial, c Candidate) string {
+	for _, t := range trials {
+		if t.Candidate == c && t.Eliminated != "" {
+			return t.Eliminated
+		}
+	}
+	return ""
+}
+
+// DirectRunner probes candidates against an in-memory matrix, memoizing
+// preconditioner construction and spectral estimates per canonical spec —
+// the standalone counterpart of the service's setup cache. Safe for
+// sequential use; Probe is not called concurrently by Run.
+type DirectRunner struct {
+	A *sparse.CSR
+	// B is the probe right-hand side (default: all ones).
+	B []float64
+	// Cancel aborts in-flight probes (optional; wired to the daemon's base
+	// context when the service tunes in the background).
+	Cancel <-chan struct{}
+
+	mu      sync.Mutex
+	precs   map[string]precond.Interface
+	spectra map[string]*eig.Estimate
+}
+
+func (r *DirectRunner) rhs() []float64 {
+	if r.B != nil {
+		return r.B
+	}
+	b := make([]float64, r.A.Dim())
+	for i := range b {
+		b[i] = 1
+	}
+	r.B = b
+	return b
+}
+
+// setup returns the (memoized) preconditioner and, when wanted, spectral
+// estimate for the candidate's canonical preconditioner spec.
+func (r *DirectRunner) setup(c Candidate, wantSpectrum bool) (precond.Interface, *eig.Estimate, error) {
+	spec, err := precond.Parse(c.Precond)
+	if err != nil {
+		return nil, nil, err
+	}
+	key := spec.Canonical()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.precs == nil {
+		r.precs = map[string]precond.Interface{}
+		r.spectra = map[string]*eig.Estimate{}
+	}
+	m, ok := r.precs[key]
+	if !ok {
+		if m, err = spec.Build(r.A); err != nil {
+			return nil, nil, err
+		}
+		r.precs[key] = m
+	}
+	if !wantSpectrum {
+		return m, nil, nil
+	}
+	est, ok := r.spectra[key]
+	if !ok {
+		var applyM func(dst, src []float64)
+		if m != nil {
+			applyM = m.Apply
+		}
+		// Estimate failure is non-fatal: the solver computes its own.
+		if est, err = eig.RitzFromPCG(r.A, applyM, eig.Options{Iterations: 20}); err == nil {
+			r.spectra[key] = est
+		}
+	}
+	return m, est, nil
+}
+
+// Probe runs one capped solve of the candidate configuration.
+func (r *DirectRunner) Probe(c Candidate, maxIters int, tol float64) Outcome {
+	solve, ok := solver.ByName(c.Method)
+	if !ok {
+		return Outcome{Err: fmt.Sprintf("unknown method %q", c.Method)}
+	}
+	opts := solver.Options{
+		S:             c.S,
+		Tol:           tol,
+		MaxIterations: maxIters,
+		Cancel:        r.Cancel,
+	}
+	if c.Basis != "" {
+		t, err := basis.ParseType(c.Basis)
+		if err != nil {
+			return Outcome{Err: err.Error()}
+		}
+		opts.Basis = t
+	}
+	wantSpectrum := solver.NeedsSpectrum(c.Method) && opts.Basis != basis.Monomial
+	m, est, err := r.setup(c, wantSpectrum)
+	if err != nil {
+		return Outcome{Err: err.Error()}
+	}
+	opts.Spectrum = est
+
+	t0 := time.Now()
+	_, stats, err := solve(r.A, m, r.rhs(), opts)
+	return ProbeOutcome(stats, err, time.Since(t0))
+}
+
+// ProbeOutcome folds a solver result into an Outcome, classifying numerical
+// breakdowns (whether surfaced as Stats.Breakdown with a best-effort iterate
+// or as an error wrapping solver.ErrBreakdown) separately from operational
+// failures.
+func ProbeOutcome(stats *solver.Stats, err error, elapsed time.Duration) Outcome {
+	o := Outcome{ElapsedMS: float64(elapsed) / float64(time.Millisecond)}
+	if stats != nil {
+		o.Iterations = stats.Iterations
+		o.Relative = stats.FinalRelative
+		o.Converged = stats.Converged
+		if stats.Breakdown != nil {
+			o.Breakdown = stats.Breakdown.Error()
+		}
+	}
+	if err != nil {
+		if errors.Is(err, solver.ErrBreakdown) {
+			o.Breakdown = err.Error()
+		} else {
+			o.Err = err.Error()
+		}
+	}
+	return o
+}

@@ -35,6 +35,7 @@ import (
 	"spcg/internal/solver"
 	"spcg/internal/sparse"
 	"spcg/internal/spmd"
+	"spcg/internal/tune"
 	"spcg/internal/vec"
 )
 
@@ -254,3 +255,20 @@ type MetricsRegistry = obs.Registry
 
 // NewMetricsRegistry creates an empty metrics registry.
 var NewMetricsRegistry = obs.NewRegistry
+
+// TuneCandidate is one autotuning configuration: a solver method with its
+// block size s, basis and preconditioner spec (internal/tune). The solve
+// service's method:"auto" resolves to one of these.
+type TuneCandidate = tune.Candidate
+
+// TuneDecision is a tuned verdict for one matrix fingerprint: the winning
+// candidate, the ranked fallback list and the full trial history.
+type TuneDecision = tune.Decision
+
+// TuneStore is the LRU-bounded, atomically-persisted decision store backing
+// method:"auto" across daemon restarts (docs/TUNING.md).
+type TuneStore = tune.Store
+
+// OpenTuneStore opens (or creates) a tune store at path with the given entry
+// bound; an empty path yields a memory-only store.
+var OpenTuneStore = tune.OpenStore

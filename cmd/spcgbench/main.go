@@ -7,6 +7,7 @@
 //	spcgbench ablation
 //	spcgbench faults [-dim 20] [-s 6]
 //	spcgbench kernels [-sizes 4096,65536,1048576] [-s 8] [-workersweep 1,2,4] [-reps 7] [-out BENCH_kernels.json]
+//	spcgbench formats [-scale 8] [-reps 7] [-only name1,name2] [-out BENCH_formats.json]
 //	spcgbench trace  [-dim 24] [-s 10]
 //	spcgbench tune   [-matrices thermomech_TC,shipsec8] [-scale 100] [-probeiters 40] [-rounds 3] [-reps 3] [-out BENCH_autotune.json]
 //
@@ -165,6 +166,40 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err == nil {
 			experiments.RenderFaults(stdout, res)
 		}
+	case "formats":
+		var fcfg experiments.FormatsConfig
+		// The global -scale / -s defaults are for the table experiments;
+		// formats defaults to scale 8 (SpMV must leave cache) and s = 8.
+		if *scale != 32 {
+			fcfg.Scale = *scale
+		}
+		if *s != 10 {
+			fcfg.S = *s
+		}
+		fcfg.Reps = *reps
+		fcfg.MaxIterations = *maxIters
+		if *only != "" {
+			for _, name := range strings.Split(*only, ",") {
+				fcfg.Only = append(fcfg.Only, strings.TrimSpace(name))
+			}
+		}
+		var res *experiments.FormatsResult
+		res, err = experiments.RunFormats(fcfg, stderr)
+		if err == nil {
+			experiments.RenderFormats(stdout, res)
+			if *out != "" {
+				var buf []byte
+				buf, err = json.MarshalIndent(res, "", "  ")
+				if err == nil {
+					err = os.WriteFile(*out, append(buf, '\n'), 0o644)
+				}
+			}
+			// The storage engine's acceptance gate: a selector that serves a
+			// regressing combo fails the command, not just the report.
+			if err == nil {
+				err = experiments.ValidateFormats(res)
+			}
+		}
 	case "trace":
 		var rows []experiments.TraceRow
 		rows, err = experiments.RunTrace(cfg, *dim)
@@ -250,7 +285,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // TestUsageListsEverySubcommand cross-checks them.
 var subcommands = []string{
 	"table1", "table2", "table3", "fig1", "pipeline", "predict",
-	"ablation", "faults", "kernels", "trace", "tune",
+	"ablation", "faults", "kernels", "formats", "trace", "tune",
 }
 
 func knownCommand(cmd string) bool {

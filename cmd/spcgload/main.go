@@ -4,7 +4,7 @@
 //
 //	spcgload [-addr http://localhost:8097] [-n 100] [-c 8]
 //	         [-methods pcg,pcg3,spcg,capcg,capcg3,auto]
-//	         [-matrices poisson2d:16,poisson2d:24] [-precond jacobi]
+//	         [-matrices poisson2d:16,poisson2d:24,hubgraph:4096] [-precond jacobi]
 //	         [-s 4] [-tol 0] [-timeout 60s] [-out BENCH_serve.json]
 //
 // The process exits non-zero if any request fails, so CI can use it as a
@@ -96,7 +96,7 @@ func main() {
 	n := flag.Int("n", 100, "total requests")
 	c := flag.Int("c", 8, "concurrent clients")
 	methodsFlag := flag.String("methods", "pcg,pcg3,spcg,capcg,capcg3,auto", "comma-separated methods to cycle (auto = tuner-selected)")
-	matricesFlag := flag.String("matrices", "poisson2d:16,poisson2d:24", "comma-separated matrices to cycle")
+	matricesFlag := flag.String("matrices", "poisson2d:16,poisson2d:24,hubgraph:4096", "comma-separated matrices to cycle (hubgraph = high row-length-variance graph exercising the SELL storage path)")
 	precond := flag.String("precond", "jacobi", "preconditioner spec")
 	sVal := flag.Int("s", 4, "s-step block size")
 	tol := flag.Float64("tol", 0, "relative tolerance (0 = server default)")

@@ -1,0 +1,165 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"spcg/internal/sparse"
+)
+
+// formatPlan is one ready-to-serve storage combo for a matrix: the CSR in
+// the solve ordering (RCM-permuted when perm is set), the SELL conversion
+// when that format was chosen (nil means the CSR itself is the operator),
+// and the selector evidence. Solves permute the right-hand side with perm,
+// run on mat/op, and un-permute the solution before anything leaves the
+// daemon.
+type formatPlan struct {
+	name   string // "csr", "sell", "csr+rcm", "sell+rcm"
+	choice sparse.FormatChoice
+	mat    *sparse.CSR
+	op     sparse.Matrix // nil ⇒ mat is the operator
+	perm   []int         // nil ⇒ natural ordering
+}
+
+// order returns the setup-cache ordering tag: preconditioners and spectral
+// estimates built on the permuted matrix must never be served for the
+// natural ordering (or vice versa), so the tag joins the cache key.
+func (p *formatPlan) order() string {
+	if p.perm != nil {
+		return "rcm"
+	}
+	return ""
+}
+
+// operator returns the matrix the solver's hot path should read.
+func (p *formatPlan) operator() sparse.Matrix {
+	if p.op != nil {
+		return p.op
+	}
+	return p.mat
+}
+
+// formatEntry caches the per-fingerprint storage state: the selector's
+// one-time decision and every combo built so far (an autotuned override can
+// demand a different combo than the selector chose; both stay resident so
+// the conversion cost is paid once per process lifetime, LRU aside).
+type formatEntry struct {
+	mu     sync.Mutex
+	choice *sparse.FormatChoice
+	perm   []int       // RCM permutation from the selector run (may back combos)
+	rcmMat *sparse.CSR // P·A·Pᵀ, shared by the csr+rcm and sell+rcm combos
+	combos map[string]*formatPlan
+}
+
+// formatCache is the LRU of formatEntries, keyed by matrix fingerprint —
+// the same bounding pattern as setupCache.
+type formatCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List
+	items map[uint64]*list.Element
+	met   *metrics
+}
+
+type formatItem struct {
+	fp    uint64
+	entry *formatEntry
+}
+
+func newFormatCache(max int, met *metrics) *formatCache {
+	if max < 1 {
+		max = 1
+	}
+	return &formatCache{max: max, ll: list.New(), items: map[uint64]*list.Element{}, met: met}
+}
+
+func (c *formatCache) entries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+func (c *formatCache) get(fp uint64) *formatEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[fp]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*formatItem).entry
+	}
+	entry := &formatEntry{combos: map[string]*formatPlan{}}
+	el := c.ll.PushFront(&formatItem{fp: fp, entry: entry})
+	c.items[fp] = el
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*formatItem).fp)
+	}
+	return entry
+}
+
+// resolve returns the storage plan for a matrix. want names an explicit
+// combo (a tuned candidate's Format pin); empty means the format selector
+// decides — its measured-probe decision runs once per fingerprint and is
+// cached. Unknown want values fall back to the selector rather than
+// failing the request: a stale store entry must not make a matrix
+// unservable.
+func (c *formatCache) resolve(a *sparse.CSR, fp uint64, want string) *formatPlan {
+	entry := c.get(fp)
+	entry.mu.Lock()
+	defer entry.mu.Unlock()
+
+	name := ""
+	if _, _, ok := sparse.FormatByName(want); ok && want != "" {
+		name = want
+	}
+	if name == "" {
+		if entry.choice == nil {
+			choice, perm := sparse.ChooseFormat(a)
+			entry.choice = &choice
+			entry.perm = perm
+		}
+		name = entry.choice.Name()
+	}
+	if plan, ok := entry.combos[name]; ok {
+		return plan
+	}
+
+	format, reorder, _ := sparse.FormatByName(name)
+	plan := &formatPlan{name: name, mat: a}
+	if entry.choice != nil {
+		plan.choice = *entry.choice
+	}
+	if reorder {
+		if entry.perm == nil {
+			entry.perm = sparse.RCM(a)
+		}
+		plan.perm = entry.perm
+		// The permuted CSR is shared between the csr+rcm and sell+rcm combos,
+		// whichever is built first.
+		if entry.rcmMat == nil {
+			entry.rcmMat = sparse.Permute(a, entry.perm)
+		}
+		plan.mat = entry.rcmMat
+	}
+	if format == "sell" {
+		plan.op = sparse.SELLFromCSR(plan.mat, 0, 0)
+		if c.met != nil {
+			c.met.formatConversions.Inc()
+		}
+	}
+	entry.combos[name] = plan
+	return plan
+}
+
+// countServe bumps the per-format serving counters for one solve running on
+// the given plan.
+func (m *metrics) countServe(plan *formatPlan) {
+	if plan.op != nil {
+		m.formatSellSolves.Inc()
+	} else {
+		m.formatCSRSolves.Inc()
+	}
+	if plan.perm != nil {
+		m.formatRCMSolves.Inc()
+	}
+}

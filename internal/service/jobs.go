@@ -70,6 +70,11 @@ type SolveResult struct {
 	// Method is the solver that actually ran; it differs from the request's
 	// method when a circuit breaker degraded the fast path.
 	Method string `json:"method,omitempty"`
+	// Format is the storage combo the solve ran on ("csr", "sell",
+	// "csr+rcm", "sell+rcm") — the format engine's per-matrix decision, or a
+	// tuned candidate's pin. Solutions of reordered combos are un-permuted
+	// before XNorm is computed, so Format is observability only.
+	Format string `json:"format,omitempty"`
 	// DegradedFrom records the originally requested method when an open
 	// circuit breaker forced a fallback down the degradation ladder.
 	DegradedFrom string `json:"degraded_from,omitempty"`

@@ -56,6 +56,12 @@ type metrics struct {
 	commRetries     *obs.Counter
 	srv             *Server // bound by bindResilience for scrape-time funcs
 
+	// Storage-format families (see DESIGN.md "Storage engine").
+	formatCSRSolves   *obs.Counter
+	formatSellSolves  *obs.Counter
+	formatRCMSolves   *obs.Counter
+	formatConversions *obs.Counter
+
 	// Autotuning families (see docs/TUNING.md).
 	tuneRequests    *obs.Counter
 	tuneStoreHits   *obs.Counter
@@ -122,6 +128,11 @@ func newMetrics(start time.Time, cache *setupCache) *metrics {
 	m.breakerRestored = reg.Counter("spcgd_breaker_restored_total", "Circuit-breaker restorations (successful half-open probes closing the circuit).")
 	m.commRetries = reg.Counter("spcgd_comm_retries_total", "Modeled communication retries charged by chaos fault trackers, summed over jobs.")
 
+	m.formatCSRSolves = reg.Counter("spcgd_format_csr_solves_total", "Solves served on CSR storage (the format selector kept the baseline).")
+	m.formatSellSolves = reg.Counter("spcgd_format_sell_solves_total", "Solves served on SELL-C-sigma storage.")
+	m.formatRCMSolves = reg.Counter("spcgd_format_rcm_solves_total", "Solves served on an RCM-reordered operator (solutions un-permuted before leaving the daemon).")
+	m.formatConversions = reg.Counter("spcgd_format_conversions_total", "SELL-C-sigma conversions built (once per fingerprint and combo, LRU aside).")
+
 	m.tuneRequests = reg.Counter("spcgd_tune_requests_total", "method:\"auto\" requests resolved through the autotuner.")
 	m.tuneStoreHits = reg.Counter("spcgd_tune_store_hits_total", "Auto resolutions served from a persisted tuning decision.")
 	m.tuneStoreMisses = reg.Counter("spcgd_tune_store_misses_total", "Auto resolutions that found no stored decision (seeded guess served, background trials started).")
@@ -178,6 +189,13 @@ func (m *metrics) bindResilience(s *Server) {
 func (m *metrics) bindTune(s *Server) {
 	m.reg.GaugeFunc("spcgd_tune_store_entries", "Tuning decisions currently resident in the store.",
 		func() float64 { return float64(s.tuner.store.Len()) })
+}
+
+// bindFormats registers the scrape-time format-cache gauge once the server's
+// format engine exists.
+func (m *metrics) bindFormats(s *Server) {
+	m.reg.GaugeFunc("spcgd_format_cache_entries", "Per-fingerprint storage decisions currently resident in the format cache.",
+		func() float64 { return float64(s.formats.entries()) })
 }
 
 // observe records one request latency under its solver method label.
@@ -250,6 +268,16 @@ type MetricsSnapshot struct {
 		ShedRate        float64 `json:"shed_rate"`
 	} `json:"resilience"`
 
+	// Formats summarizes the structure-adaptive storage engine: which format
+	// solves actually ran on and how many SELL conversions were built.
+	Formats struct {
+		CSRSolves    int64 `json:"csr_solves_total"`
+		SellSolves   int64 `json:"sell_solves_total"`
+		RCMSolves    int64 `json:"rcm_solves_total"`
+		Conversions  int64 `json:"conversions_total"`
+		CacheEntries int   `json:"cache_entries"`
+	} `json:"formats"`
+
 	// Tune summarizes the autotuning subsystem: how method:"auto" requests
 	// resolved and what the trial schedule has been doing.
 	Tune struct {
@@ -313,6 +341,13 @@ func (m *metrics) snapshot(start time.Time, cache *setupCache) MetricsSnapshot {
 		s.Resilience.ShedRate = m.srv.shed.Rate()
 	}
 	s.Resilience.CommRetries = m.commRetries.Value()
+	s.Formats.CSRSolves = m.formatCSRSolves.Value()
+	s.Formats.SellSolves = m.formatSellSolves.Value()
+	s.Formats.RCMSolves = m.formatRCMSolves.Value()
+	s.Formats.Conversions = m.formatConversions.Value()
+	if m.srv != nil {
+		s.Formats.CacheEntries = m.srv.formats.entries()
+	}
 	s.Tune.Requests = m.tuneRequests.Value()
 	s.Tune.StoreHits = m.tuneStoreHits.Value()
 	s.Tune.StoreMisses = m.tuneStoreMisses.Value()

@@ -18,7 +18,10 @@ import (
 //     1/Scale of the paper size on first request;
 //   - parametric generators: "poisson1d:N", "poisson2d:NX[:NY]",
 //     "poisson3d:NX[:NY:NZ]", "varcoeff2d:NX:CONTRAST[:SEED]",
-//     "varcoeff3d:NX:CONTRAST[:SEED]", "aniso2d:NX:EPS".
+//     "varcoeff3d:NX:CONTRAST[:SEED]", "aniso2d:NX:EPS",
+//     "hubgraph:N[:SEED]" (random graph Laplacian with high-degree hubs —
+//     the high row-length-variance structure the storage engine's SELL
+//     format targets).
 //
 // Matrices are built once (per-entry sync.Once) and are immutable
 // afterwards, so every solve and every cache entry shares the same *CSR.
@@ -207,6 +210,23 @@ func (r *registry) parseGenerator(name string) (func() (*sparse.CSR, error), int
 			return func() (*sparse.CSR, error) { return sparse.VarCoeff2D(nx, nx, contrast, seed), nil }, satMul(nx, nx), nil
 		}
 		return func() (*sparse.CSR, error) { return sparse.VarCoeff3D(nx, nx, nx, contrast, seed), nil }, satMul(satMul(nx, nx), nx), nil
+	case "hubgraph":
+		if len(args) < 1 {
+			return nil, 0, fmt.Errorf("matrix %q: need N[:SEED]", name)
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n < 2 {
+			return nil, 0, fmt.Errorf("matrix %q: bad size %q", name, args[0])
+		}
+		seed := int64(1)
+		if len(args) > 1 {
+			s, err := strconv.ParseInt(args[1], 10, 64)
+			if err != nil {
+				return nil, 0, fmt.Errorf("matrix %q: bad seed %q", name, args[1])
+			}
+			seed = s
+		}
+		return func() (*sparse.CSR, error) { return sparse.HubGraphLaplacian(n, 4, 192, 48, 0.5, seed), nil }, n, nil
 	case "aniso2d":
 		if len(args) < 2 {
 			return nil, 0, fmt.Errorf("matrix %q: need NX:EPS", name)

@@ -233,6 +233,7 @@ type Server struct {
 	cfg      Config
 	reg      *registry
 	cache    *setupCache
+	formats  *formatCache
 	jobs     *jobStore
 	met      *metrics
 	start    time.Time
@@ -287,9 +288,11 @@ func New(cfg Config) *Server {
 	if cfg.Chaos != nil {
 		s.chaos = newChaosState(*cfg.Chaos)
 	}
+	s.formats = newFormatCache(cfg.CacheSize, s.met)
 	s.tuner = newTuneState(cfg, s.met)
 	s.met.bindResilience(s)
 	s.met.bindTune(s)
+	s.met.bindFormats(s)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -591,23 +594,32 @@ func (s *Server) run(item *workItem) {
 	if eff.Method == "auto" {
 		eff, tuneSource, tuned = s.resolveAuto(a, fp, eff)
 	}
+	// The format engine decides (once per fingerprint) which storage the hot
+	// path reads — or honours a tuned candidate's pinned combo. Everything
+	// downstream (preconditioner, spectrum, solve) runs in the plan's
+	// ordering; solutions are un-permuted before any result leaves.
+	wantFormat := ""
+	if tuned != nil {
+		wantFormat = tuned.Format
+	}
+	plan := s.formats.resolve(a, fp, wantFormat)
 	spec, err := precond.Parse(eff.Precond)
 	if err != nil {
 		s.failAll(live, err)
 		return
 	}
-	entry, _ := s.cache.get(setupKey{fp: fp, prec: spec.Canonical()})
-	m, err := entry.preconditioner(a, spec)
+	entry, _ := s.cache.get(setupKey{fp: fp, prec: spec.Canonical(), order: plan.order()})
+	m, err := entry.preconditioner(plan.mat, spec)
 	if err != nil {
 		s.failAll(live, err)
 		return
 	}
 
 	if len(live) > 1 {
-		s.runBatch(live, a, m)
+		s.runBatch(live, plan, m)
 		return
 	}
-	s.runSolo(lead, eff, tuneSource, tuned, a, fp, m, entry, spec)
+	s.runSolo(lead, eff, tuneSource, tuned, plan, fp, m, entry, spec)
 }
 
 func (s *Server) failAll(jobs []*job, err error) {
@@ -689,7 +701,8 @@ func (s *Server) watchStagnation(opts *solver.Options, stop <-chan struct{}, job
 // from j.req for method:"auto"). A stagnation watchdog samples the solve's
 // heartbeat and kills it well before the wall-clock deadline when the
 // residual stops improving.
-func (s *Server) runSolo(j *job, req SolveRequest, tuneSource string, tuned *tune.Candidate, a *sparse.CSR, fp uint64, m precond.Interface, entry *setupEntry, spec precond.Spec) {
+func (s *Server) runSolo(j *job, req SolveRequest, tuneSource string, tuned *tune.Candidate, plan *formatPlan, fp uint64, m precond.Interface, entry *setupEntry, spec precond.Spec) {
+	a := plan.mat
 	method, key, gated, degradedFrom := s.applyBreaker(fp, req)
 	if gated {
 		j.setBreakerKey(key)
@@ -712,6 +725,7 @@ func (s *Server) runSolo(j *job, req SolveRequest, tuneSource string, tuned *tun
 		}
 		// On estimate failure the solver falls back to computing its own.
 	}
+	opts.Operator = plan.op
 	s.chaos.arm(&opts, a, fp)
 	s.watchStagnation(&opts, j.ctx.Done(), j)
 	b, err := buildRHS(req.RHS, a.Dim())
@@ -719,15 +733,24 @@ func (s *Server) runSolo(j *job, req SolveRequest, tuneSource string, tuned *tun
 		s.finishJob(j, JobFailed, &SolveResult{Error: err.Error(), BatchSize: 1})
 		return
 	}
+	if plan.perm != nil {
+		b = sparse.PermuteVec(b, plan.perm)
+	}
 	s.chaos.maybePanic(j.id) // inside the worker's Safe guard
 
 	t0 := time.Now()
 	x, stats, err := solve(a, m, b, opts)
 	elapsed := time.Since(t0)
 	s.met.observe(method, elapsed)
+	s.met.countServe(plan)
+	if plan.perm != nil && x != nil {
+		// The solve ran on P·A·Pᵀ; hand the caller the solution of A.
+		x = sparse.UnpermuteVec(x, plan.perm)
+	}
 
 	res := statsToResult(stats, err, false, 1, elapsed, norm2(x))
 	res.Method = method
+	res.Format = plan.name
 	res.DegradedFrom = degradedFrom
 	res.TuneSource = tuneSource
 	res.TunedConfig = tuned
@@ -760,7 +783,8 @@ func (s *Server) runSolo(j *job, req SolveRequest, tuneSource string, tuned *tun
 // runBatch executes k coalesced PCG jobs as one multi-RHS block solve. The
 // block's Cancel channel closes only when every member's context is done, so
 // one member's deadline never aborts its companions.
-func (s *Server) runBatch(members []*job, a *sparse.CSR, m precond.Interface) {
+func (s *Server) runBatch(members []*job, plan *formatPlan, m precond.Interface) {
+	a := plan.mat
 	k := len(members)
 	n := a.Dim()
 	bs := vec.NewBlock(n, k)
@@ -770,6 +794,9 @@ func (s *Server) runBatch(members []*job, a *sparse.CSR, m precond.Interface) {
 			// Validation makes this unreachable, but stay defensive.
 			s.finishJob(j, JobFailed, &SolveResult{Error: err.Error(), BatchSize: k})
 			col = make([]float64, n)
+		}
+		if plan.perm != nil {
+			col = sparse.PermuteVec(col, plan.perm)
 		}
 		copy(bs.Col(i), col)
 	}
@@ -783,6 +810,7 @@ func (s *Server) runBatch(members []*job, a *sparse.CSR, m precond.Interface) {
 	}()
 
 	opts := optsFromReq(members[0].req, allDone)
+	opts.Operator = plan.op
 	// One watchdog covers the whole block: BatchPCG's heartbeat reports the
 	// worst still-active column, so the block is only killed when even its
 	// slowest member has stopped improving.
@@ -808,12 +836,18 @@ func (s *Server) runBatch(members []*job, a *sparse.CSR, m precond.Interface) {
 		}
 		var xnorm float64
 		if xs != nil {
-			xnorm = norm2(xs.Col(i))
+			xj := xs.Col(i)
+			if plan.perm != nil {
+				xj = sparse.UnpermuteVec(xj, plan.perm)
+			}
+			xnorm = norm2(xj)
 		}
 		s.met.observe(j.req.Method, elapsed)
+		s.met.countServe(plan)
 		s.recordSolve(st, false)
 		res := statsToResult(st, nil, true, k, elapsed, xnorm)
 		res.Method = j.req.Method
+		res.Format = plan.name
 		stagnated, reason := j.stagnatedInfo()
 		switch {
 		case stagnated:

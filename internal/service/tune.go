@@ -156,9 +156,27 @@ func (s *Server) runTrials(a *sparse.CSR, fp uint64, matrix string, plan *tune.P
 		return // all candidates eliminated or shutdown mid-trials; nothing to store
 	}
 	d.Matrix = matrix
+	s.stampFormat(a, fp, d)
 	s.met.tuneRuns.Inc()
 	if err := s.tuner.store.Put(d); err != nil {
 		s.met.tuneStoreErrors.Inc()
+	}
+}
+
+// stampFormat records the storage combo the trials actually ran on into the
+// decision's candidates (they carried Format "" → the selector's pick), so
+// a stored winner replays on exactly the storage it was measured with, even
+// if the format cache has since evicted the entry and a re-probe on a noisy
+// machine would decide differently.
+func (s *Server) stampFormat(a *sparse.CSR, fp uint64, d *tune.Decision) {
+	name := s.formats.resolve(a, fp, "").name
+	if d.Winner.Format == "" {
+		d.Winner.Format = name
+	}
+	for i := range d.Ranked {
+		if d.Ranked[i].Candidate.Format == "" {
+			d.Ranked[i].Candidate.Format = name
+		}
 	}
 }
 
@@ -184,6 +202,7 @@ func (s *Server) TuneNow(matrix string) (*tune.Decision, error) {
 		return nil, err
 	}
 	d.Matrix = matrix
+	s.stampFormat(a, fp, d)
 	s.met.tuneRuns.Inc()
 	if err := s.tuner.store.Put(d); err != nil {
 		s.met.tuneStoreErrors.Inc()
@@ -227,8 +246,13 @@ func (r *cacheRunner) Probe(c tune.Candidate, maxIters int, tol float64) tune.Ou
 	if err != nil {
 		return tune.Outcome{Err: err.Error()}
 	}
-	entry, _ := r.s.cache.get(setupKey{fp: r.fp, prec: spec.Canonical()})
-	m, err := entry.preconditioner(r.a, spec)
+	// Probes run through the format engine so trial timings measure the
+	// exact storage the served path will use; a candidate with a pinned
+	// Format probes that combo instead of the selector's pick.
+	plan := r.s.formats.resolve(r.a, r.fp, c.Format)
+	a := plan.mat
+	entry, _ := r.s.cache.get(setupKey{fp: r.fp, prec: spec.Canonical(), order: plan.order()})
+	m, err := entry.preconditioner(a, spec)
 	if err != nil {
 		return tune.Outcome{Err: err.Error()}
 	}
@@ -238,6 +262,7 @@ func (r *cacheRunner) Probe(c tune.Candidate, maxIters int, tol float64) tune.Ou
 		MaxIterations: maxIters,
 		Cancel:        r.s.baseCtx.Done(),
 		Basis:         basis.Chebyshev,
+		Operator:      plan.op,
 	}
 	if c.Basis != "" {
 		t, err := basis.ParseType(c.Basis)
@@ -251,16 +276,19 @@ func (r *cacheRunner) Probe(c tune.Candidate, maxIters int, tol float64) tune.Ou
 		if sVal <= 0 {
 			sVal = 10
 		}
-		if est, err := entry.spectrumFor(r.a, spec, sVal); err == nil {
+		if est, err := entry.spectrumFor(a, spec, sVal); err == nil {
 			opts.Spectrum = est
 		}
 	}
-	b, err := buildRHS("", r.a.Dim())
+	b, err := buildRHS("", a.Dim())
 	if err != nil {
 		return tune.Outcome{Err: err.Error()}
 	}
+	if plan.perm != nil {
+		b = sparse.PermuteVec(b, plan.perm)
+	}
 	t0 := time.Now()
-	_, stats, err := solve(r.a, m, b, opts)
+	_, stats, err := solve(a, m, b, opts)
 	o := tune.ProbeOutcome(stats, err, time.Since(t0))
 	if o.Breakdown != "" {
 		r.s.met.tuneBreakdowns.Inc()

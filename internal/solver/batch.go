@@ -45,6 +45,13 @@ func BatchPCG(a *sparse.CSR, m precond.Interface, bs *vec.Block, opts Options) (
 	if bs.N != n {
 		return nil, nil, fmt.Errorf("%w: rhs rows=%d, n=%d", ErrDimension, bs.N, n)
 	}
+	var op sparse.Matrix = a
+	if opts.Operator != nil {
+		if opts.Operator.Dim() != n {
+			return nil, nil, fmt.Errorf("%w: matrix n=%d, operator n=%d", ErrDimension, n, opts.Operator.Dim())
+		}
+		op = opts.Operator
+	}
 	k := bs.S()
 
 	x := vec.NewBlock(n, k)
@@ -116,7 +123,7 @@ func BatchPCG(a *sparse.CSR, m precond.Interface, bs *vec.Block, opts Options) (
 				stats[j].MVProducts++
 			}
 		}
-		a.MulBlockPar(sAct, pAct)
+		op.MulBlockPar(sAct, pAct)
 		// The block heartbeat reports the worst (largest) relative value among
 		// the columns advanced this iteration: the watchdog only declares the
 		// whole batch stagnant when even the slowest member stops improving.

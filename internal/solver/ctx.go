@@ -17,6 +17,7 @@ import (
 // model. All solvers go through it so their measured costs are comparable.
 type ctx struct {
 	a       *sparse.CSR
+	op      sparse.Matrix // hot-path kernels; a unless Options.Operator overrides
 	m       precond.Interface
 	tr      *dist.Tracker
 	obs     *obs.Tracer     // nil-safe: phase spans when tracing is enabled
@@ -38,12 +39,19 @@ func newCtx(a *sparse.CSR, m precond.Interface, opts *Options, stats *Stats) (*c
 	if m.Dim() != n {
 		return nil, fmt.Errorf("%w: matrix n=%d, preconditioner n=%d", ErrDimension, n, m.Dim())
 	}
+	var op sparse.Matrix = a
+	if opts.Operator != nil {
+		if opts.Operator.Dim() != n {
+			return nil, fmt.Errorf("%w: matrix n=%d, operator n=%d", ErrDimension, n, opts.Operator.Dim())
+		}
+		op = opts.Operator
+	}
 	// Mirror the tracker's halo-exchange events into the trace so the
 	// breakdown covers the modeled communication structure too.
 	if opts.Tracker != nil && opts.Trace != nil {
 		opts.Tracker.Obs = opts.Trace
 	}
-	return &ctx{a: a, m: m, tr: opts.Tracker, obs: opts.Trace, inj: opts.Injector, n: n, stats: stats, f32Gram: opts.Float32Gram, cancel: opts.Cancel}, nil
+	return &ctx{a: a, op: op, m: m, tr: opts.Tracker, obs: opts.Trace, inj: opts.Injector, n: n, stats: stats, f32Gram: opts.Float32Gram, cancel: opts.Cancel}, nil
 }
 
 // cancelled polls Options.Cancel without blocking. Solvers call it once per
@@ -65,7 +73,7 @@ func (c *ctx) cancelled() bool {
 // detection/recovery machinery defends against.
 func (c *ctx) spmv(dst, src []float64) {
 	t0 := c.obs.Begin()
-	c.a.MulVecPar(dst, src)
+	c.op.MulVecPar(dst, src)
 	c.obs.End(obs.PhaseSpMV, t0)
 	c.inj.CorruptSpMV(dst)
 	c.tr.SpMV()
@@ -114,7 +122,7 @@ func (o mpkOp) FusedBasisStep(sNext, u, sCur, sPrev []float64, theta, mu, gamma 
 		return false
 	}
 	t0 := c.obs.Begin()
-	c.a.FusedBasisStepPar(sNext, u, sCur, sPrev, theta, mu, gamma, jd.InvDiag(), uNext)
+	c.op.FusedBasisStepPar(sNext, u, sCur, sPrev, theta, mu, gamma, jd.InvDiag(), uNext)
 	c.obs.End(obs.PhaseBasis, t0)
 	c.tr.SpMV()
 	c.stats.MVProducts++

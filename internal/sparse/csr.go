@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"spcg/internal/vec"
 )
@@ -23,6 +24,15 @@ type CSR struct {
 	// parts caches nnz-balanced row partitions for the pool-dispatched
 	// kernels (see parallel.go). Lazily filled; never copied by value.
 	parts partsPointer
+
+	// diagCache and maxRowCache memoize Diag and MaxRowNNZ: preconditioner
+	// setup and format selection call both repeatedly on the same immutable
+	// matrix. Zero values mean "not computed" (matrices are built by struct
+	// literal throughout this package), so maxRowCache stores max+1.
+	// Scale and AddDiag invalidate; both are atomics so concurrent readers
+	// of a shared matrix stay race-free.
+	diagCache   atomic.Pointer[[]float64]
+	maxRowCache atomic.Int64
 }
 
 // NNZ returns the number of stored entries.
@@ -59,7 +69,11 @@ func (a *CSR) MulVecRows(dst, x []float64, lo, hi int) {
 }
 
 // Diag returns a copy of the main diagonal (zeros for missing entries).
+// The scan is memoized; callers own the returned slice.
 func (a *CSR) Diag() []float64 {
+	if p := a.diagCache.Load(); p != nil {
+		return append([]float64(nil), (*p)...)
+	}
 	d := make([]float64, a.N)
 	for i := 0; i < a.N; i++ {
 		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
@@ -69,6 +83,8 @@ func (a *CSR) Diag() []float64 {
 			}
 		}
 	}
+	cached := append([]float64(nil), d...)
+	a.diagCache.Store(&cached)
 	return d
 }
 
@@ -130,15 +146,25 @@ func (a *CSR) Gershgorin() (lo, hi float64) {
 // RowNNZ returns the number of stored entries in row i.
 func (a *CSR) RowNNZ(i int) int { return a.RowPtr[i+1] - a.RowPtr[i] }
 
-// MaxRowNNZ returns the maximum entries in any row.
+// MaxRowNNZ returns the maximum entries in any row (memoized; row lengths
+// never change after construction, so nothing invalidates it).
 func (a *CSR) MaxRowNNZ() int {
+	if v := a.maxRowCache.Load(); v > 0 {
+		return int(v - 1)
+	}
 	m := 0
 	for i := 0; i < a.N; i++ {
 		if r := a.RowNNZ(i); r > m {
 			m = r
 		}
 	}
+	a.maxRowCache.Store(int64(m + 1))
 	return m
+}
+
+// invalidateValueCaches drops memoized views of Val after a mutation.
+func (a *CSR) invalidateValueCaches() {
+	a.diagCache.Store(nil)
 }
 
 // Scale multiplies all stored values by alpha.
@@ -146,6 +172,7 @@ func (a *CSR) Scale(alpha float64) {
 	for i := range a.Val {
 		a.Val[i] *= alpha
 	}
+	a.invalidateValueCaches()
 }
 
 // AddDiag adds alpha to every diagonal entry (the entry must be stored;
@@ -164,6 +191,7 @@ func (a *CSR) AddDiag(alpha float64) {
 			panic(fmt.Sprintf("sparse: AddDiag row %d has no stored diagonal", i))
 		}
 	}
+	a.invalidateValueCaches()
 }
 
 // MulBlock computes one SpMV per column: dst_j = A·x_j.

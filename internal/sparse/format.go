@@ -1,0 +1,245 @@
+package sparse
+
+import (
+	"math"
+	"time"
+)
+
+// FormatChoice records the storage decision for one matrix: which format the
+// hot SpMV path should read, whether the operator is RCM-reordered first,
+// and the structure statistics plus probe timings that drove the decision.
+type FormatChoice struct {
+	Format  string `json:"format"`  // "csr" or "sell"
+	Reorder bool   `json:"reorder"` // RCM permutation applied to the operator
+
+	C     int `json:"c,omitempty"`     // SELL slice height (when Format == "sell")
+	Sigma int `json:"sigma,omitempty"` // SELL sorting window
+
+	RowCV           float64 `json:"row_cv"`            // row-length coefficient of variation
+	PaddingRatio    float64 `json:"padding_ratio"`     // SELL padded entries / nnz (estimate)
+	BandwidthBefore int     `json:"bandwidth_before"`  // natural-order bandwidth
+	BandwidthAfter  int     `json:"bandwidth_after"`   // RCM bandwidth (== before if RCM rejected)
+	ProbeCSRNs      int64   `json:"probe_csr_ns"`      // measured natural-CSR SpMV (0 = probe skipped)
+	ProbeChosenNs   int64   `json:"probe_selected_ns"` // measured SpMV of the selected combo
+}
+
+// Name renders the combo as one of "csr", "sell", "csr+rcm", "sell+rcm" —
+// the identifier used by autotune candidates, metrics, and bench reports.
+func (c FormatChoice) Name() string {
+	name := c.Format
+	if c.Reorder {
+		name += "+rcm"
+	}
+	return name
+}
+
+// FormatByName parses a Name() string back into format and reorder parts;
+// ok is false for anything else. Empty input means "csr" (the zero choice),
+// so stored autotune decisions from before the format dimension still load.
+func FormatByName(name string) (format string, reorder, ok bool) {
+	switch name {
+	case "", "csr":
+		return "csr", false, true
+	case "sell":
+		return "sell", false, true
+	case "csr+rcm":
+		return "csr", true, true
+	case "sell+rcm":
+		return "sell", true, true
+	}
+	return "", false, false
+}
+
+// Selection thresholds. The structure heuristics only prune candidates; the
+// final call between surviving combos is a measured SpMV probe, so these
+// just need to be loose enough to never exclude a winner.
+const (
+	// formatProbeMinNNZ gates the whole machinery: below it SpMV is
+	// cache-resident and format is irrelevant, so CSR is kept without
+	// probing (also keeps small-matrix tests deterministic).
+	formatProbeMinNNZ = 1 << 15
+
+	// maxPaddingRatio excludes SELL when σ-window sorting still leaves
+	// this fraction of padded entries: the padding is streamed on every
+	// SpMV, so beyond ~25% extra traffic SELL cannot win on a
+	// bandwidth-bound kernel.
+	maxPaddingRatio = 0.25
+
+	// rcmBandwidthFloor and rcmReductionFactor gate the RCM candidates:
+	// reordering is only probed when the natural bandwidth spills the
+	// x-vector working set (bw rows of float64 ≫ L1) and RCM measurably
+	// shrinks it. Calibration on the suite shows reductions below ~1.6×
+	// never pay for the permute/unpermute traffic.
+	rcmBandwidthFloor    = 4096
+	rcmReductionFactor   = 0.6
+	formatProbeReps      = 3
+	formatSwitchHysteres = 0.98 // a combo must beat the simpler one by >2%
+)
+
+// RowLengthCV returns the coefficient of variation (stddev/mean) of the row
+// lengths — the classic ELL-suitability statistic.
+func RowLengthCV(a *CSR) float64 {
+	n := a.Dim()
+	if n == 0 || a.NNZ() == 0 {
+		return 0
+	}
+	mean := float64(a.NNZ()) / float64(n)
+	var ss float64
+	for i := 0; i < n; i++ {
+		d := float64(a.RowNNZ(i)) - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(n)) / mean
+}
+
+// EstimatePaddingRatio computes the SELL-C-σ padding ratio from row lengths
+// alone, without building the matrix: padded/nnz after σ-window sorting
+// into height-c slices.
+func EstimatePaddingRatio(a *CSR, c, sigma int) float64 {
+	if c <= 0 {
+		c = DefaultSliceHeight
+	}
+	if sigma <= 0 {
+		sigma = DefaultSigma
+	}
+	if sigma < c {
+		sigma = c
+	}
+	if r := sigma % c; r != 0 {
+		sigma += c - r
+	}
+	n := a.Dim()
+	if n == 0 || a.NNZ() == 0 {
+		return 0
+	}
+	lens := make([]int, 0, sigma)
+	total := 0
+	for w0 := 0; w0 < n; w0 += sigma {
+		w1 := w0 + sigma
+		if w1 > n {
+			w1 = n
+		}
+		lens = lens[:0]
+		for i := w0; i < w1; i++ {
+			lens = append(lens, a.RowNNZ(i))
+		}
+		// Descending sort mirrors SELLFromCSR's window ordering.
+		for i := 1; i < len(lens); i++ {
+			for j := i; j > 0 && lens[j] > lens[j-1]; j-- {
+				lens[j], lens[j-1] = lens[j-1], lens[j]
+			}
+		}
+		for s := 0; s < len(lens); s += c {
+			h := len(lens) - s
+			if h > c {
+				h = c
+			}
+			total += lens[s] * h // lens[s] is the slice max after the sort
+		}
+	}
+	return float64(total-a.NNZ()) / float64(a.NNZ())
+}
+
+// formatCandidate is one probed storage combo.
+type formatCandidate struct {
+	name    string
+	op      Matrix
+	x       []float64 // probe input in the combo's ordering
+	reorder bool
+}
+
+// ChooseFormat picks the storage format and ordering for a matrix. The
+// structure heuristics (padding ratio, bandwidth reduction) prune the
+// candidate set {CSR, SELL} × {natural, RCM}; the survivors are then raced
+// with a short measured SpMV probe (min of formatProbeReps, interleaved)
+// and the fastest wins, with hysteresis in favour of the simpler combo so
+// noise never trades plain CSR away for a sub-2% paper gain. Matrices under
+// formatProbeMinNNZ skip everything and keep CSR.
+//
+// The returned perm is the RCM permutation when Reorder is set (nil
+// otherwise); the caller owns applying Permute/PermuteVec/UnpermuteVec.
+// ChooseFormat itself never mutates a.
+func ChooseFormat(a *CSR) (FormatChoice, []int) {
+	choice := FormatChoice{Format: "csr"}
+	if a.NNZ() < formatProbeMinNNZ {
+		return choice, nil
+	}
+	choice.RowCV = RowLengthCV(a)
+	choice.PaddingRatio = EstimatePaddingRatio(a, 0, 0)
+	choice.BandwidthBefore = Bandwidth(a)
+	choice.BandwidthAfter = choice.BandwidthBefore
+
+	n := a.Dim()
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1 + math.Sin(float64(i)*0.37)
+	}
+
+	cands := []formatCandidate{{name: "csr", op: a, x: x}}
+	sellOK := choice.PaddingRatio <= maxPaddingRatio
+	if sellOK {
+		cands = append(cands, formatCandidate{name: "sell", op: SELLFromCSR(a, 0, 0), x: x})
+	}
+	var perm []int
+	if choice.BandwidthBefore > rcmBandwidthFloor {
+		perm = RCM(a)
+		ar := Permute(a, perm)
+		bwAfter := Bandwidth(ar)
+		if float64(bwAfter) <= rcmReductionFactor*float64(choice.BandwidthBefore) {
+			choice.BandwidthAfter = bwAfter
+			xr := PermuteVec(x, perm)
+			cands = append(cands, formatCandidate{name: "csr+rcm", op: ar, x: xr, reorder: true})
+			if sellOK {
+				cands = append(cands, formatCandidate{name: "sell+rcm", op: SELLFromCSR(ar, 0, 0), x: xr, reorder: true})
+			}
+		} else {
+			perm = nil
+		}
+	}
+
+	times := probeFormats(cands, n)
+	choice.ProbeCSRNs = times[0]
+	best := 0
+	for i := 1; i < len(cands); i++ {
+		if float64(times[i]) < formatSwitchHysteres*float64(times[best]) {
+			best = i
+		}
+	}
+	win := cands[best]
+	choice.ProbeChosenNs = times[best]
+	choice.Reorder = win.reorder
+	if se, ok := win.op.(*SELL); ok {
+		choice.Format = "sell"
+		choice.C = se.C()
+		choice.Sigma = se.Sigma()
+	}
+	if !choice.Reorder {
+		perm = nil
+	}
+	return choice, perm
+}
+
+// probeFormats times one MulVecPar per candidate per rep, interleaved so
+// frequency drift hits every combo equally, and returns each candidate's
+// minimum in nanoseconds.
+func probeFormats(cands []formatCandidate, n int) []int64 {
+	dst := make([]float64, n)
+	times := make([]int64, len(cands))
+	for i := range times {
+		times[i] = math.MaxInt64
+	}
+	// One warm-up sweep faults in the freshly-built operators.
+	for _, c := range cands {
+		c.op.MulVecPar(dst, c.x)
+	}
+	for r := 0; r < formatProbeReps; r++ {
+		for i, c := range cands {
+			t0 := time.Now()
+			c.op.MulVecPar(dst, c.x)
+			if d := time.Since(t0).Nanoseconds(); d < times[i] {
+				times[i] = d
+			}
+		}
+	}
+	return times
+}

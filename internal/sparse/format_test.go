@@ -1,0 +1,109 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFormatByNameRoundTrip(t *testing.T) {
+	for _, name := range []string{"csr", "sell", "csr+rcm", "sell+rcm"} {
+		format, reorder, ok := FormatByName(name)
+		if !ok {
+			t.Fatalf("FormatByName(%q) not ok", name)
+		}
+		c := FormatChoice{Format: format, Reorder: reorder}
+		if c.Name() != name {
+			t.Fatalf("round trip %q -> %q", name, c.Name())
+		}
+	}
+	// Empty input is the zero choice (pre-format-dimension store entries).
+	if f, r, ok := FormatByName(""); !ok || f != "csr" || r {
+		t.Fatalf("FormatByName(\"\") = %q %v %v", f, r, ok)
+	}
+	if _, _, ok := FormatByName("ellpack"); ok {
+		t.Fatal("unknown name must not parse")
+	}
+}
+
+// TestChooseFormatSmallKeepsCSR: matrices below the probe threshold skip all
+// measurement and keep plain CSR deterministically.
+func TestChooseFormatSmallKeepsCSR(t *testing.T) {
+	a := Poisson2D(12, 12) // nnz ≪ formatProbeMinNNZ
+	choice, perm := ChooseFormat(a)
+	if choice.Name() != "csr" || perm != nil {
+		t.Fatalf("small matrix: got %q perm=%v, want csr/nil", choice.Name(), perm)
+	}
+	if choice.ProbeCSRNs != 0 {
+		t.Fatalf("small matrix must not probe, got %dns", choice.ProbeCSRNs)
+	}
+}
+
+// TestChooseFormatConsistency: the returned perm is non-nil exactly when
+// Reorder is set, is a valid permutation, and the recorded statistics are
+// coherent. Probed on a scrambled grid large enough to take the full path.
+func TestChooseFormatConsistency(t *testing.T) {
+	grid := VarCoeff2D(90, 90, 3, 5) // nnz ≈ 40k ≥ formatProbeMinNNZ
+	rng := rand.New(rand.NewSource(9))
+	a := Permute(grid, rng.Perm(grid.Dim()))
+	choice, perm := ChooseFormat(a)
+	if (perm != nil) != choice.Reorder {
+		t.Fatalf("perm nil-ness %v disagrees with Reorder %v", perm != nil, choice.Reorder)
+	}
+	if choice.Reorder {
+		seen := make([]bool, a.Dim())
+		for _, v := range perm {
+			if v < 0 || v >= a.Dim() || seen[v] {
+				t.Fatalf("invalid permutation entry %d", v)
+			}
+			seen[v] = true
+		}
+		if choice.BandwidthAfter > choice.BandwidthBefore {
+			t.Fatalf("RCM chosen but bandwidth grew: %d -> %d", choice.BandwidthBefore, choice.BandwidthAfter)
+		}
+	}
+	if _, _, ok := FormatByName(choice.Name()); !ok {
+		t.Fatalf("selector produced unknown combo %q", choice.Name())
+	}
+	if choice.ProbeCSRNs <= 0 || choice.ProbeChosenNs <= 0 {
+		t.Fatalf("probe times not recorded: csr=%d chosen=%d", choice.ProbeCSRNs, choice.ProbeChosenNs)
+	}
+	if choice.Format == "sell" && choice.C <= 0 {
+		t.Fatalf("sell choice without slice height: %+v", choice)
+	}
+}
+
+// TestRowLengthCV pins the statistic on hand-computable structures: a
+// constant-row-length matrix has zero variation, a hub row raises it.
+func TestRowLengthCV(t *testing.T) {
+	if cv := RowLengthCV(Poisson1D(1)); cv != 0 {
+		t.Fatalf("single row: cv = %v", cv)
+	}
+	coo := NewCOO(10)
+	for i := 0; i < 10; i++ {
+		coo.Add(i, i, 1)
+	}
+	uniform := coo.ToCSR()
+	if cv := RowLengthCV(uniform); cv != 0 {
+		t.Fatalf("uniform rows: cv = %v, want 0", cv)
+	}
+	for j := 1; j < 10; j++ {
+		coo.AddSym(0, j, -0.1) // row 0 becomes a hub
+	}
+	if cv := RowLengthCV(coo.ToCSR()); cv <= 0.5 {
+		t.Fatalf("hub matrix: cv = %v, want > 0.5", cv)
+	}
+}
+
+// TestEstimatePaddingRatioMatchesBuild cross-checks the estimator against
+// the real conversion for several (c, σ) pairs.
+func TestEstimatePaddingRatioMatchesBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := randIrregularCSR(211, rng)
+	for _, cs := range [][2]int{{0, 0}, {4, 4}, {8, 32}, {3, 10}} {
+		est := EstimatePaddingRatio(a, cs[0], cs[1])
+		got := SELLFromCSR(a, cs[0], cs[1]).PaddingRatio()
+		if est != got {
+			t.Fatalf("c=%d σ=%d: estimate %v != built %v", cs[0], cs[1], est, got)
+		}
+	}
+}

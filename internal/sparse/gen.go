@@ -343,6 +343,45 @@ func RandomGraphLaplacian(n, degree int, shift float64, seed int64) *CSR {
 	return coo.ToCSR()
 }
 
+// HubGraphLaplacian is RandomGraphLaplacian with a skewed degree
+// distribution: every vertex gets baseDeg random out-edges, and every
+// hubEvery-th vertex is a hub with hubDeg extra out-edges. The resulting row-length
+// variance (hub rows are an order of magnitude longer than the rest) is the
+// structure that stresses SELL-C-σ's σ-window sorting and padding
+// accounting and exercises the format selector's irregular branch — the
+// load generator's default mix includes one so serving soak runs cover the
+// sliced format. SPD via the diagonal shift; deterministic in seed.
+func HubGraphLaplacian(n, baseDeg, hubEvery, hubDeg int, shift float64, seed int64) *CSR {
+	if baseDeg < 1 || hubEvery < 1 || hubDeg < 0 || n < 2 {
+		panic("sparse: HubGraphLaplacian needs n ≥ 2, baseDeg ≥ 1, hubEvery ≥ 1, hubDeg ≥ 0")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	coo := NewCOO(n)
+	deg := make([]float64, n)
+	addEdges := func(i, count int) {
+		for e := 0; e < count; e++ {
+			j := rng.Intn(n)
+			if j == i {
+				j = (j + 1) % n
+			}
+			w := 0.5 + rng.Float64()
+			coo.AddSym(i, j, -w)
+			deg[i] += w
+			deg[j] += w
+		}
+	}
+	for i := 0; i < n; i++ {
+		addEdges(i, baseDeg)
+		if i%hubEvery == 0 {
+			addEdges(i, hubDeg)
+		}
+	}
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, deg[i]+shift)
+	}
+	return coo.ToCSR()
+}
+
 // SPDWithSpectrum returns a sparse SPD matrix with exactly the given
 // eigenvalues: diag(spectrum) conjugated by `rotations` random Givens
 // rotations. Rotations introduce off-diagonal fill, so keep rotations ≲ 3n

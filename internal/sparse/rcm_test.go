@@ -102,6 +102,78 @@ func TestRCMShrinksHaloOfScrambledGrid(t *testing.T) {
 	}
 }
 
+// TestRCMDisconnectedGraph: RCM must traverse every component (restarting
+// BFS from an unvisited minimum-degree vertex), including isolated vertices
+// with empty rows, and the result must still be a valid permutation whose
+// similarity transform round-trips exactly.
+func TestRCMDisconnectedGraph(t *testing.T) {
+	// Two grid components of different sizes plus two isolated vertices, one
+	// with a diagonal entry and one with a fully empty row.
+	g1 := Poisson2D(8, 8)
+	g2 := Poisson2D(5, 3)
+	n1, n2 := g1.Dim(), g2.Dim()
+	n := n1 + n2 + 2
+	coo := NewCOO(n)
+	addBlock := func(a *CSR, off int) {
+		for i := 0; i < a.Dim(); i++ {
+			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+				coo.Add(off+i, off+a.ColIdx[k], a.Val[k])
+			}
+		}
+	}
+	addBlock(g1, 0)
+	addBlock(g2, n1)
+	coo.Add(n1+n2, n1+n2, 1) // isolated, diagonal only
+	// Row n1+n2+1 stays completely empty.
+	a := coo.ToCSR()
+
+	perm := RCM(a)
+	if len(perm) != n {
+		t.Fatalf("perm length %d != %d", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for _, v := range perm {
+		if v < 0 || v >= n || seen[v] {
+			t.Fatalf("not a permutation: %d", v)
+		}
+		seen[v] = true
+	}
+
+	pa := Permute(a, perm)
+	if pa.NNZ() != a.NNZ() {
+		t.Fatalf("Permute changed nnz: %d -> %d", a.NNZ(), pa.NNZ())
+	}
+	// Bandwidth of the block-diagonal system must not blow up: each
+	// component is renumbered contiguously, so the result stays grid-like.
+	if bw := Bandwidth(pa); bw > 3*8 {
+		t.Fatalf("RCM bandwidth %d too large for disconnected grids", bw)
+	}
+
+	// Permute/Unpermute identity on vectors, exercised with the same perm
+	// the solve path would use.
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(3*i%29) - 14
+	}
+	back := UnpermuteVec(PermuteVec(x, perm), perm)
+	for i := range x {
+		if back[i] != x[i] {
+			t.Fatalf("Unpermute∘Permute not identity at %d", i)
+		}
+	}
+	// And the similarity transform still holds with empty rows present.
+	y := make([]float64, n)
+	a.MulVec(y, x)
+	yp := make([]float64, n)
+	pa.MulVec(yp, PermuteVec(x, perm))
+	py := PermuteVec(y, perm)
+	for i := range py {
+		if yp[i] != py[i] {
+			t.Fatalf("similarity transform violated at %d: %v != %v", i, yp[i], py[i])
+		}
+	}
+}
+
 func TestPermuteValidation(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -37,9 +37,16 @@ type Candidate struct {
 	S       int    `json:"s,omitempty"`
 	Basis   string `json:"basis,omitempty"`
 	Precond string `json:"precond"`
+	// Format pins the sparse storage combo ("csr", "sell", "csr+rcm",
+	// "sell+rcm"; see sparse.FormatByName). Empty means the serving layer's
+	// format selector decides — decisions recorded by the service carry the
+	// combo its probes actually ran on, so a stored winner replays on the
+	// same storage it was measured with. Stored decisions predating this
+	// field deserialize with "" and keep selector behaviour.
+	Format string `json:"format,omitempty"`
 }
 
-// String renders the candidate compactly: "spcg(s=8,chebyshev)+jacobi".
+// String renders the candidate compactly: "spcg(s=8,chebyshev)+jacobi@sell+rcm".
 func (c Candidate) String() string {
 	var b strings.Builder
 	b.WriteString(c.Method)
@@ -48,6 +55,10 @@ func (c Candidate) String() string {
 	}
 	b.WriteString("+")
 	b.WriteString(c.Precond)
+	if c.Format != "" {
+		b.WriteString("@")
+		b.WriteString(c.Format)
+	}
 	return b.String()
 }
 

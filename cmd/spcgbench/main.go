@@ -10,6 +10,7 @@
 //	spcgbench formats [-scale 8] [-reps 7] [-only name1,name2] [-out BENCH_formats.json]
 //	spcgbench trace  [-dim 24] [-s 10]
 //	spcgbench tune   [-matrices thermomech_TC,shipsec8] [-scale 100] [-probeiters 40] [-rounds 3] [-reps 3] [-out BENCH_autotune.json]
+//	spcgbench gateway [-arms 1,2,4] [-requests 240] [-clients 8] [-wset 24] [-gwcache 8] [-out BENCH_gateway.json]
 //
 // Scale divides the paper's matrix sizes (1 = full size); see DESIGN.md for
 // the experiment-to-module index.
@@ -65,6 +66,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	matrices := fs.String("matrices", "", "comma-separated suite matrix names (tune; default thermomech_TC,shipsec8)")
 	probeIters := fs.Int("probeiters", 0, "first-round tuning probe iteration cap (tune; default 40)")
 	rounds := fs.Int("rounds", 0, "successive-halving rounds (tune; default 3)")
+	arms := fs.String("arms", "", "comma-separated backend pool sizes (gateway; default 1,2,4)")
+	requests := fs.Int("requests", 0, "timed requests per arm (gateway; default 240)")
+	clients := fs.Int("clients", 0, "concurrent clients (gateway; default 8)")
+	wset := fs.Int("wset", 0, "distinct-matrix working set (gateway; default 24)")
+	gwCache := fs.Int("gwcache", 0, "per-backend cache entries (gateway; default 8, deliberately < -wset)")
 	if err := fs.Parse(args[1:]); err != nil {
 		return 2
 	}
@@ -243,6 +249,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 				err = experiments.ValidateAutotune(res)
 			}
 		}
+	case "gateway":
+		var gcfg experiments.GatewayBenchConfig
+		if gcfg.Arms, err = parseIntList(*arms); err != nil {
+			fmt.Fprintf(stderr, "bad -arms: %v\n", err)
+			return 2
+		}
+		gcfg.Requests = *requests
+		gcfg.Clients = *clients
+		gcfg.Matrices = *wset
+		gcfg.CacheSize = *gwCache
+		var res *experiments.GatewayResult
+		res, err = experiments.RunGateway(gcfg, stderr)
+		if err == nil {
+			experiments.RenderGateway(stdout, res)
+			if *out != "" {
+				var buf []byte
+				buf, err = json.MarshalIndent(res, "", "  ")
+				if err == nil {
+					err = os.WriteFile(*out, append(buf, '\n'), 0o644)
+				}
+			}
+			// The scale-out acceptance gate: affinity < 90%, speedup < 2.5×
+			// or any lost request fails the command, not just the report.
+			if err == nil {
+				err = experiments.ValidateGateway(res)
+			}
+		}
 	case "kernels":
 		var kcfg experiments.KernelsConfig
 		kcfg.Reps = *reps
@@ -286,6 +319,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 var subcommands = []string{
 	"table1", "table2", "table3", "fig1", "pipeline", "predict",
 	"ablation", "faults", "kernels", "formats", "trace", "tune",
+	"gateway",
 }
 
 func knownCommand(cmd string) bool {

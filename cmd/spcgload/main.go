@@ -10,6 +10,12 @@
 // The process exits non-zero if any request fails, so CI can use it as a
 // smoke test.
 //
+// With -gateway the burst targets a spcggw gateway instead of a single
+// daemon: every logical request carries a request_id idempotency key, 429
+// backpressure and transport blips are retried (safely, thanks to the key),
+// and the report includes the gateway's spcggw_* snapshot — affinity
+// hit-rate, failovers, shed count (see docs/SCALING.md for a worked run).
+//
 // With -chaos the burst becomes a resilience acceptance run: the request mix
 // adds guaranteed s-step breakdowns (monomial basis on an ill-conditioned
 // anisotropic operator) and unreachable-tolerance stagnators, and the exit
@@ -46,6 +52,7 @@ type solveRequest struct {
 	RHS       string  `json:"rhs,omitempty"`
 	TimeoutMS int     `json:"timeout_ms,omitempty"`
 	NoBatch   bool    `json:"no_batch,omitempty"`
+	RequestID string  `json:"request_id,omitempty"`
 }
 
 type solveResult struct {
@@ -89,6 +96,10 @@ type report struct {
 	PerMethod   map[string]int     `json:"per_method"`
 	Errors      []string           `json:"errors,omitempty"`
 	Server      json.RawMessage    `json:"server_metrics,omitempty"`
+	// Gateway holds the spcggw /metrics?format=json snapshot when the burst
+	// was driven through a gateway (-gateway); Server then holds the same
+	// document, since the gateway is the addressed server.
+	Gateway json.RawMessage `json:"gateway_metrics,omitempty"`
 }
 
 func main() {
@@ -103,6 +114,7 @@ func main() {
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request client timeout")
 	out := flag.String("out", "", "write a JSON report to this file")
 	chaos := flag.Bool("chaos", false, "chaos acceptance mode: mix in breakdowns and stagnators, assert resilience invariants")
+	gateway := flag.Bool("gateway", false, "drive a spcggw gateway: stamp request_id idempotency keys, retry 429s honoring Retry-After, report gateway metrics")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "spcgload: unexpected arguments: %v\n", flag.Args())
@@ -123,6 +135,7 @@ func main() {
 	var wg sync.WaitGroup
 	next := make(chan int)
 	start := time.Now()
+	runID := time.Now().UnixNano()
 	for w := 0; w < *c; w++ {
 		wg.Add(1)
 		go func() {
@@ -135,7 +148,14 @@ func main() {
 					S:       *sVal,
 					Tol:     *tol,
 				}
-				samples[i] = doSolve(client, *addr, req)
+				if *gateway {
+					// An explicit idempotency key per logical request makes
+					// gateway failover retries observable end to end.
+					req.RequestID = fmt.Sprintf("load-%d-%d", runID, i)
+					samples[i] = doSolveRetry(client, *addr, req)
+				} else {
+					samples[i] = doSolve(client, *addr, req)
+				}
 			}
 		}()
 	}
@@ -149,6 +169,18 @@ func main() {
 	rep := summarize(samples, *addr, *n, *c, wall)
 	if body, err := fetchMetrics(client, *addr); err == nil {
 		rep.Server = body
+		if *gateway {
+			rep.Gateway = body
+			var gw struct {
+				AffinityRate float64 `json:"affinity_rate"`
+				Failovers    int64   `json:"failovers_total"`
+				Shed         int64   `json:"shed_total"`
+			}
+			if json.Unmarshal(body, &gw) == nil {
+				fmt.Printf("spcgload: gateway affinity %.1f%%, %d failovers, %d shed\n",
+					100*gw.AffinityRate, gw.Failovers, gw.Shed)
+			}
+		}
 	} else {
 		fmt.Fprintf(os.Stderr, "spcgload: fetch /metrics: %v\n", err)
 	}
@@ -423,6 +455,29 @@ func doSolve(client *http.Client, addr string, req solveRequest) sample {
 	}
 	smp.ok = true
 	smp.batched = st.Result.Batched && st.Result.BatchSize >= 2
+	return smp
+}
+
+// doSolveRetry is the gateway-mode request path: it resubmits on 429 with
+// the response's Retry-After (the gateway propagates backend backpressure)
+// and on transport errors (a gateway restart mid-burst). The request_id
+// makes every resubmission idempotent, so retries can never double-count.
+func doSolveRetry(client *http.Client, addr string, req solveRequest) sample {
+	const maxAttempts = 8
+	var smp sample
+	t0 := time.Now()
+	for attempt := 0; ; attempt++ {
+		smp = doSolve(client, addr, req)
+		if smp.ok || attempt >= maxAttempts-1 {
+			break
+		}
+		if strings.Contains(smp.err, "HTTP 429") || strings.Contains(smp.err, "connection") {
+			time.Sleep(time.Duration(200*(attempt+1)) * time.Millisecond)
+			continue
+		}
+		break
+	}
+	smp.latencyMS = float64(time.Since(t0).Microseconds()) / 1000
 	return smp
 }
 

@@ -1,0 +1,88 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"spcg/internal/service"
+)
+
+// TestEndToEndRealBackends runs the gateway over two real in-process spcgd
+// servers: repeat-matrix traffic keeps 100% affinity, solves converge, and
+// resubmitting a request_id through the gateway returns the same backend job
+// instead of running a second solve.
+func TestEndToEndRealBackends(t *testing.T) {
+	var svcs []*service.Server
+	var urls []string
+	for i := 0; i < 2; i++ {
+		s := service.New(service.Config{Workers: 2, QueueDepth: 32, BatchMax: 1})
+		svcs = append(svcs, s)
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(ts.Close)
+		urls = append(urls, ts.URL)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		for _, s := range svcs {
+			_ = s.Shutdown(ctx)
+		}
+	})
+	g, err := New(Config{Backends: urls, ProbeInterval: time.Hour, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(g.Close)
+
+	matrices := []string{"poisson2d:12", "poisson2d:16", "poisson1d:64"}
+	type jobDoc struct {
+		ID     string `json:"id"`
+		State  string `json:"state"`
+		Result *struct {
+			Converged bool `json:"converged"`
+		} `json:"result"`
+	}
+	solve := func(body string) (int, jobDoc) {
+		rec := postSolveGW(t, g, body)
+		var doc jobDoc
+		_ = json.Unmarshal(rec.Body.Bytes(), &doc)
+		return rec.Code, doc
+	}
+	for round := 0; round < 3; round++ {
+		for _, m := range matrices {
+			code, doc := solve(`{"matrix":"` + m + `","method":"pcg","precond":"jacobi"}`)
+			if code != http.StatusOK || doc.Result == nil || !doc.Result.Converged {
+				t.Fatalf("solve %s: HTTP %d, doc %+v", m, code, doc)
+			}
+		}
+	}
+	snap := g.snapshot()
+	if snap.AffinityRate != 1.0 {
+		t.Fatalf("affinity rate %.3f with real backends, want 1.0 (hits=%d misses=%d)",
+			snap.AffinityRate, snap.AffinityHits, snap.AffinityMiss)
+	}
+
+	// Idempotent resubmission end to end: same request_id twice — the
+	// backend answers with the same job both times.
+	body := `{"matrix":"poisson2d:12","method":"pcg","request_id":"e2e-dup-1"}`
+	code1, doc1 := solve(body)
+	code2, doc2 := solve(body)
+	if code1 != http.StatusOK || code2 != http.StatusOK {
+		t.Fatalf("dup solves: HTTP %d then %d", code1, code2)
+	}
+	if doc1.ID == "" || doc1.ID != doc2.ID {
+		t.Fatalf("request_id dedup failed: job ids %q vs %q", doc1.ID, doc2.ID)
+	}
+
+	// The gateway's /jobs route follows the remembered backend for the job.
+	req := httptest.NewRequest(http.MethodGet, "/jobs/"+doc1.ID, nil)
+	rec := httptest.NewRecorder()
+	g.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /jobs/%s via gateway: HTTP %d", doc1.ID, rec.Code)
+	}
+}

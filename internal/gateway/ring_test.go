@@ -1,0 +1,111 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingChurnStability verifies the property the whole affinity design
+// rests on: when one of N backends drops, only the keys it owned move —
+// every other key keeps its primary, so its caches stay warm.
+func TestRingChurnStability(t *testing.T) {
+	const members = 4
+	const keys = 10000
+	r := newRing(64)
+	names := make([]string, members)
+	for i := range names {
+		names[i] = fmt.Sprintf("backend-%d", i)
+		r.add(names[i])
+	}
+	before := make([]string, keys)
+	for k := 0; k < keys; k++ {
+		owners := r.lookup(uint64(k)*0x9e3779b9, 1)
+		if len(owners) != 1 {
+			t.Fatalf("lookup(%d) returned %v", k, owners)
+		}
+		before[k] = owners[0]
+	}
+
+	victim := names[1]
+	r.remove(victim)
+	moved := 0
+	for k := 0; k < keys; k++ {
+		after := r.lookup(uint64(k)*0x9e3779b9, 1)[0]
+		if before[k] == victim {
+			moved++
+			continue
+		}
+		// The strict consistent-hashing guarantee: a key not owned by the
+		// removed member must not move at all.
+		if after != before[k] {
+			t.Fatalf("key %d moved %s→%s although %s was removed", k, before[k], after, victim)
+		}
+	}
+	// The victim's share is ~1/N up to vnode placement variance.
+	frac := float64(moved) / keys
+	if frac > 1.5/members {
+		t.Fatalf("%.1f%% of keys moved, want ≈1/%d (≤%.1f%%)", 100*frac, members, 150.0/members)
+	}
+	if moved == 0 {
+		t.Fatalf("no keys moved when a member dropped — victim held no arc?")
+	}
+
+	// Re-adding the member restores exactly the original ownership (vnode
+	// placement is deterministic).
+	r.add(victim)
+	for k := 0; k < keys; k++ {
+		if got := r.lookup(uint64(k)*0x9e3779b9, 1)[0]; got != before[k] {
+			t.Fatalf("key %d owner %s after re-add, want %s", k, got, before[k])
+		}
+	}
+}
+
+// TestRingLookupReplicas checks the replica walk returns distinct members in
+// deterministic order and degrades gracefully on small rings.
+func TestRingLookupReplicas(t *testing.T) {
+	r := newRing(32)
+	for i := 0; i < 3; i++ {
+		r.add(fmt.Sprintf("b%d", i))
+	}
+	got := r.lookup(42, 5)
+	if len(got) != 3 {
+		t.Fatalf("lookup(42,5) = %v, want all 3 distinct members", got)
+	}
+	seen := map[string]bool{}
+	for _, o := range got {
+		if seen[o] {
+			t.Fatalf("duplicate owner %s in %v", o, got)
+		}
+		seen[o] = true
+	}
+	if again := r.lookup(42, 5); fmt.Sprint(again) != fmt.Sprint(got) {
+		t.Fatalf("lookup not deterministic: %v then %v", got, again)
+	}
+	if r.lookup(42, 1)[0] != got[0] {
+		t.Fatalf("primary changes with max")
+	}
+	empty := newRing(8)
+	if out := empty.lookup(1, 2); out != nil {
+		t.Fatalf("empty ring lookup = %v, want nil", out)
+	}
+}
+
+// TestRingShares checks arc shares sum to 1 and are roughly balanced.
+func TestRingShares(t *testing.T) {
+	r := newRing(64)
+	const members = 4
+	for i := 0; i < members; i++ {
+		r.add(fmt.Sprintf("b%d", i))
+	}
+	shares := r.shares()
+	total := 0.0
+	for name, s := range shares {
+		total += s
+		if s < 0.10 || s > 0.45 {
+			t.Errorf("share[%s] = %.3f, want roughly 1/%d with 64 vnodes", name, s, members)
+		}
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Fatalf("shares sum to %.6f, want 1", total)
+	}
+}

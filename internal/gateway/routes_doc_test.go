@@ -1,0 +1,35 @@
+package gateway
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestGatewayRoutesDocumented pins the gateway's HTTP surface to
+// docs/API.md ("Gateway endpoints"): every route the mux serves must
+// appear there — a line carrying the method and the backticked path.
+func TestGatewayRoutesDocumented(t *testing.T) {
+	doc, err := os.ReadFile("../../docs/API.md")
+	if err != nil {
+		t.Fatalf("read docs/API.md: %v", err)
+	}
+	lines := strings.Split(string(doc), "\n")
+	for _, r := range Routes() {
+		method, path, ok := strings.Cut(r, " ")
+		if !ok {
+			t.Fatalf("route %q has no method", r)
+		}
+		found := false
+		want := "`" + path + "`"
+		for _, ln := range lines {
+			if strings.Contains(ln, want) && strings.Contains(ln, method) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("gateway route %q is not documented in docs/API.md (want a line with %s and `%s`)", r, method, path)
+		}
+	}
+}

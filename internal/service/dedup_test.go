@@ -1,0 +1,52 @@
+package service
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestSubmitRequestIDDedup checks the idempotency contract gateway retries
+// rely on: resubmitting a request_id returns the existing job — before and
+// after it completes — and never runs a second solve.
+func TestSubmitRequestIDDedup(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 8})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+
+	req := SolveRequest{Matrix: "poisson2d:12", Method: "pcg", Async: true, RequestID: "dup-key"}
+	j1, err := s.Submit(req)
+	if err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	j2, err := s.Submit(req)
+	if err != nil {
+		t.Fatalf("resubmit: %v", err)
+	}
+	if j1 != j2 {
+		t.Fatalf("resubmission created a new job: %s vs %s", j1.status().ID, j2.status().ID)
+	}
+	<-j1.done
+	// Dedup must survive completion while the job is retained.
+	j3, err := s.Submit(req)
+	if err != nil {
+		t.Fatalf("post-completion resubmit: %v", err)
+	}
+	if j3 != j1 {
+		t.Fatalf("post-completion resubmission re-ran the solve: %s vs %s", j3.status().ID, j1.status().ID)
+	}
+	if got := s.met.dedupHits.Value(); got != 2 {
+		t.Fatalf("spcgd_dedup_hits_total = %d, want 2", got)
+	}
+	// A different key is a different job.
+	other, err := s.Submit(SolveRequest{Matrix: "poisson2d:12", Method: "pcg", Async: true, RequestID: "other-key"})
+	if err != nil {
+		t.Fatalf("other submit: %v", err)
+	}
+	if other == j1 {
+		t.Fatalf("distinct request_ids collapsed into one job")
+	}
+}

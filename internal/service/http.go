@@ -4,32 +4,46 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 
 	"spcg/internal/obs"
 )
 
-// Handler returns the service's HTTP mux:
-//
-//	POST /solve            — submit a solve; sync by default, async with
-//	                         "async": true (202 + job id)
-//	GET  /jobs/{id}        — poll a job
-//	POST /jobs/{id}/cancel — cooperative cancellation
-//	GET  /matrices         — registered matrix names
-//	POST /tune             — force a synchronous tuning run for a matrix
-//	GET  /tune/{matrix}    — the stored tuning decision for a matrix
-//	GET  /metrics          — serving counters: Prometheus text by default,
-//	                         the structured JSON view with ?format=json
-//	GET  /healthz          — liveness; 503 while draining
+// route is one served pattern. Handler registers exactly this table, and the
+// docs-coverage test asserts every pattern is documented in docs/API.md, so
+// the two cannot drift.
+type route struct {
+	pattern string
+	handler func(*Server) http.HandlerFunc
+}
+
+var routes = []route{
+	{"POST /solve", func(s *Server) http.HandlerFunc { return s.handleSolve }},
+	{"GET /jobs/{id}", func(s *Server) http.HandlerFunc { return s.handleJobGet }},
+	{"POST /jobs/{id}/cancel", func(s *Server) http.HandlerFunc { return s.handleJobCancel }},
+	{"GET /matrices", func(s *Server) http.HandlerFunc { return s.handleMatrices }},
+	{"POST /tune", func(s *Server) http.HandlerFunc { return s.handleTune }},
+	{"GET /tune/{matrix}", func(s *Server) http.HandlerFunc { return s.handleTuneGet }},
+	{"GET /affinity/{matrix}", func(s *Server) http.HandlerFunc { return s.handleAffinity }},
+	{"GET /metrics", func(s *Server) http.HandlerFunc { return s.handleMetrics }},
+	{"GET /healthz", func(s *Server) http.HandlerFunc { return s.handleHealthz }},
+}
+
+// Routes lists the served "METHOD /path" patterns (docs-coverage test).
+func Routes() []string {
+	out := make([]string, len(routes))
+	for i, r := range routes {
+		out[i] = r.pattern
+	}
+	return out
+}
+
+// Handler returns the service's HTTP mux; see docs/API.md for the surface.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /solve", s.handleSolve)
-	mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
-	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleJobCancel)
-	mux.HandleFunc("GET /matrices", s.handleMatrices)
-	mux.HandleFunc("POST /tune", s.handleTune)
-	mux.HandleFunc("GET /tune/{matrix}", s.handleTuneGet)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	for _, r := range routes {
+		mux.HandleFunc(r.pattern, r.handler(s))
+	}
 	return mux
 }
 
@@ -156,6 +170,25 @@ func (s *Server) handleTuneGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, d)
+}
+
+// handleAffinity resolves a matrix name to its content fingerprint — the
+// routing key the spcggw gateway consistent-hashes. The first call for a
+// matrix builds it (warming the registry entry); repeats are a map lookup.
+// The fingerprint is serialized as a decimal string: it is a full uint64,
+// which JSON numbers cannot carry exactly.
+func (s *Server) handleAffinity(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("matrix")
+	a, fp, err := s.reg.get(name)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"matrix":      name,
+		"fingerprint": strconv.FormatUint(fp, 10),
+		"n":           a.N,
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -51,6 +51,11 @@ type SolveRequest struct {
 	Async     bool    `json:"async,omitempty"`      // enqueue and return a job id immediately
 	NoBatch   bool    `json:"no_batch,omitempty"`   // opt out of same-matrix coalescing
 	Trace     bool    `json:"trace,omitempty"`      // return a per-phase breakdown (implies no_batch)
+
+	// RequestID is an optional idempotency key. Submitting the same
+	// request_id again returns the existing job instead of running a second
+	// solve — this is what makes gateway failover retries safe.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // SolveResult is the terminal payload of a job.
@@ -218,7 +223,8 @@ type jobStore struct {
 	mu      sync.Mutex
 	seq     int64
 	jobs    map[string]*job
-	doneIDs []string // finished jobs in completion order, oldest first
+	byReqID map[string]*job // request_id → job, for idempotent resubmission
+	doneIDs []string        // finished jobs in completion order, oldest first
 	maxDone int
 }
 
@@ -226,7 +232,7 @@ func newJobStore(maxDone int) *jobStore {
 	if maxDone < 1 {
 		maxDone = 256
 	}
-	return &jobStore{jobs: map[string]*job{}, maxDone: maxDone}
+	return &jobStore{jobs: map[string]*job{}, byReqID: map[string]*job{}, maxDone: maxDone}
 }
 
 func (s *jobStore) newJob(req SolveRequest, parent context.Context, timeout time.Duration) *job {
@@ -250,6 +256,9 @@ func (s *jobStore) newJob(req SolveRequest, parent context.Context, timeout time
 		submitted: time.Now(),
 	}
 	s.jobs[id] = j
+	if req.RequestID != "" {
+		s.byReqID[req.RequestID] = j
+	}
 	s.mu.Unlock()
 	return j
 }
@@ -260,6 +269,14 @@ func (s *jobStore) get(id string) *job {
 	return s.jobs[id]
 }
 
+// getByRequestID returns the job admitted under an idempotency key, if it is
+// still retained.
+func (s *jobStore) getByRequestID(reqID string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.byReqID[reqID]
+}
+
 // markDone records completion for eviction ordering and trims old entries.
 func (s *jobStore) markDone(id string) {
 	s.mu.Lock()
@@ -268,6 +285,9 @@ func (s *jobStore) markDone(id string) {
 	for len(s.doneIDs) > s.maxDone {
 		old := s.doneIDs[0]
 		s.doneIDs = s.doneIDs[1:]
+		if j := s.jobs[old]; j != nil && j.req.RequestID != "" {
+			delete(s.byReqID, j.req.RequestID)
+		}
 		delete(s.jobs, old)
 	}
 }

@@ -32,6 +32,7 @@ type metrics struct {
 	completed *obs.Counter
 	failed    *obs.Counter
 	cancelled *obs.Counter
+	dedupHits *obs.Counter
 
 	inFlight *obs.Gauge
 	// queued counts admitted-but-unfinished jobs; spcgd_queue_depth derives
@@ -81,6 +82,7 @@ func newMetrics(start time.Time, cache *setupCache) *metrics {
 
 	m.requests = reg.Counter("spcgd_requests_total", "Accepted solve submissions.")
 	m.rejected = reg.Counter("spcgd_rejected_total", "Submissions refused at admission (queue full or shutting down).")
+	m.dedupHits = reg.Counter("spcgd_dedup_hits_total", "Resubmissions answered by an existing job via request_id idempotency.")
 	m.completed = reg.Counter("spcgd_completed_total", "Jobs finished with status done.")
 	m.failed = reg.Counter("spcgd_failed_total", "Jobs finished with status failed.")
 	m.cancelled = reg.Counter("spcgd_cancelled_total", "Jobs finished with status cancelled.")

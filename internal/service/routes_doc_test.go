@@ -1,0 +1,37 @@
+package service
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestServiceRoutesDocumented pins the HTTP surface to docs/API.md: every
+// route the mux serves must appear there — a line carrying the method and
+// the backticked path. Adding a route without documenting it fails CI.
+func TestServiceRoutesDocumented(t *testing.T) {
+	doc, err := os.ReadFile("../../docs/API.md")
+	if err != nil {
+		t.Fatalf("read docs/API.md: %v", err)
+	}
+	lines := strings.Split(string(doc), "\n")
+	for _, r := range Routes() {
+		method, path, ok := strings.Cut(r, " ")
+		if !ok {
+			t.Fatalf("route %q has no method", r)
+		}
+		if !routeDocumented(lines, method, path) {
+			t.Errorf("route %q is not documented in docs/API.md (want a line with %s and `%s`)", r, method, path)
+		}
+	}
+}
+
+func routeDocumented(lines []string, method, path string) bool {
+	want := "`" + path + "`"
+	for _, ln := range lines {
+		if strings.Contains(ln, want) && strings.Contains(ln, method) {
+			return true
+		}
+	}
+	return false
+}

@@ -361,6 +361,17 @@ func (s *Server) Submit(req SolveRequest) (*job, error) {
 		s.met.rejected.Inc()
 		return nil, ErrShuttingDown
 	}
+	// Idempotent resubmission: a request_id that is already admitted (or
+	// finished and still retained) returns its existing job instead of
+	// running the solve twice. Checked before the queue-full gate so a
+	// gateway retry of an accepted request is never shed.
+	if req.RequestID != "" {
+		if j := s.jobs.getByRequestID(req.RequestID); j != nil {
+			s.mu.Unlock()
+			s.met.dedupHits.Inc()
+			return j, nil
+		}
+	}
 	if s.admitted >= s.cfg.QueueDepth {
 		s.mu.Unlock()
 		s.met.rejected.Inc()

@@ -1,0 +1,233 @@
+// Command spcglint runs the repo's first-party invariant analyzers
+// (internal/lint) over the module and prints positioned diagnostics.
+//
+//	go run ./cmd/spcglint ./...          # whole module
+//	go run ./cmd/spcglint ./internal/vec # one subtree
+//	go run ./cmd/spcglint -disable floatcmp ./...
+//	go run ./cmd/spcglint -list
+//
+// Exit status: 0 clean, 1 diagnostics (or type-check problems), 2 usage or
+// load error. See docs/LINT.md for the invariant each analyzer enforces and
+// the //spcglint:ignore suppression mechanism.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"spcg/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("spcglint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	enable := fs.String("enable", "", "comma-separated analyzers to run (default: all)")
+	disable := fs.String("disable", "", "comma-separated analyzers to skip")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: spcglint [flags] [packages]\n\nRuns the first-party invariant analyzers over the module.\nPackage arguments are ./... (default), directory paths or import-path prefixes.\n\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.DefaultAnalyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers, err := filterAnalyzers(analyzers, *enable, *disable)
+	if err != nil {
+		fmt.Fprintln(stderr, "spcglint:", err)
+		return 2
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(stderr, "spcglint:", err)
+		return 2
+	}
+	m, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "spcglint:", err)
+		return 2
+	}
+
+	keep, err := packageFilter(m, root, fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, "spcglint:", err)
+		return 2
+	}
+
+	bad := 0
+	for _, pkg := range m.Packages {
+		if !keep(pkg) {
+			continue
+		}
+		for _, terr := range pkg.TypeErrors {
+			bad++
+			fmt.Fprintf(stdout, "%v [typecheck]\n", terr)
+		}
+	}
+
+	for _, d := range lint.Run(m, analyzers) {
+		rel, rerr := filepath.Rel(root, d.Pos.Filename)
+		if rerr != nil {
+			rel = d.Pos.Filename
+		}
+		if !keepFile(m, keep, d.Pos.Filename) {
+			continue
+		}
+		bad++
+		fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if bad > 0 {
+		fmt.Fprintf(stderr, "spcglint: %d problem(s)\n", bad)
+		return 1
+	}
+	return 0
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// filterAnalyzers applies -enable/-disable.
+func filterAnalyzers(all []*lint.Analyzer, enable, disable string) ([]*lint.Analyzer, error) {
+	byName := make(map[string]*lint.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	parse := func(csv string) (map[string]bool, error) {
+		set := make(map[string]bool)
+		if csv == "" {
+			return set, nil
+		}
+		for _, name := range strings.Split(csv, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if byName[name] == nil {
+				return nil, fmt.Errorf("unknown analyzer %q (use -list)", name)
+			}
+			set[name] = true
+		}
+		return set, nil
+	}
+	on, err := parse(enable)
+	if err != nil {
+		return nil, err
+	}
+	off, err := parse(disable)
+	if err != nil {
+		return nil, err
+	}
+	var out []*lint.Analyzer
+	for _, a := range all {
+		if len(on) > 0 && !on[a.Name] {
+			continue
+		}
+		if off[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no analyzers selected")
+	}
+	return out, nil
+}
+
+// packageFilter turns the positional arguments into a unit predicate.
+// Accepted forms: "./..." (everything), "./dir" or "./dir/..." (subtree by
+// directory), and import-path prefixes like "spcg/internal/vec".
+func packageFilter(m *lint.Module, root string, args []string) (func(*lint.Package) bool, error) {
+	if len(args) == 0 {
+		return func(*lint.Package) bool { return true }, nil
+	}
+	type pred struct {
+		dir  string // relative directory prefix ("" = unused)
+		path string // import-path prefix ("" = unused)
+	}
+	var preds []pred
+	cwd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	for _, arg := range args {
+		if arg == "./..." || arg == "..." || arg == "all" {
+			return func(*lint.Package) bool { return true }, nil
+		}
+		if strings.HasPrefix(arg, ".") || strings.HasPrefix(arg, "/") {
+			dir := strings.TrimSuffix(strings.TrimSuffix(arg, "..."), "/")
+			abs := dir
+			if !filepath.IsAbs(abs) {
+				abs = filepath.Join(cwd, dir)
+			}
+			rel, err := filepath.Rel(root, abs)
+			if err != nil || strings.HasPrefix(rel, "..") {
+				return nil, fmt.Errorf("package argument %q is outside the module", arg)
+			}
+			preds = append(preds, pred{dir: rel})
+			continue
+		}
+		preds = append(preds, pred{path: strings.TrimSuffix(strings.TrimSuffix(arg, "..."), "/")})
+	}
+	sep := string(filepath.Separator)
+	return func(p *lint.Package) bool {
+		for _, pr := range preds {
+			switch {
+			case pr.dir != "":
+				if pr.dir == "." || p.Dir == pr.dir || strings.HasPrefix(p.Dir, pr.dir+sep) {
+					return true
+				}
+			case pr.path != "":
+				if p.Path == pr.path || strings.HasPrefix(p.Path, pr.path+"/") ||
+					p.Path == pr.path+"_test" {
+					return true
+				}
+			}
+		}
+		return false
+	}, nil
+}
+
+// keepFile reports whether a diagnostic's file belongs to a kept unit.
+func keepFile(m *lint.Module, keep func(*lint.Package) bool, filename string) bool {
+	for _, pkg := range m.Packages {
+		if !keep(pkg) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			if pkg.Filename(f.Pos()) == filename {
+				return true
+			}
+		}
+	}
+	return false
+}

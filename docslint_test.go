@@ -1,12 +1,14 @@
 package spcg
 
 import (
+	"fmt"
 	"io/fs"
 	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
+	"unicode"
 )
 
 // mdLink matches inline markdown links/images: [text](target). Reference
@@ -14,10 +16,14 @@ import (
 // links throughout.
 var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
 
+// mdInlineLink matches a full inline link for stripping down to its text.
+var mdInlineLink = regexp.MustCompile(`\[([^\]]*)\]\([^)]*\)`)
+
 // TestDocsRelativeLinks walks every tracked markdown file and asserts that
-// each relative link target exists on disk, so docs cross-references can't
-// silently rot when files move. External URLs and pure anchors are skipped;
-// a trailing #fragment is checked against the target file's existence only.
+// each relative link target exists on disk — and that every #fragment, pure
+// (#section) or cross-file (file.md#section), names a real heading in its
+// target, using GitHub's anchor-slug algorithm. Docs cross-references can't
+// silently rot when files move or sections are renamed.
 func TestDocsRelativeLinks(t *testing.T) {
 	var files []string
 	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
@@ -42,6 +48,30 @@ func TestDocsRelativeLinks(t *testing.T) {
 	if len(files) < 10 {
 		t.Fatalf("found only %d markdown files — test is not running from the repo root", len(files))
 	}
+	// anchorsOf lazily computes each markdown file's heading-anchor set.
+	anchorCache := make(map[string]map[string]bool)
+	anchorsOf := func(path string) (map[string]bool, error) {
+		if a, ok := anchorCache[path]; ok {
+			return a, nil
+		}
+		body, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		a := headingAnchors(string(body))
+		anchorCache[path] = a
+		return a, nil
+	}
+	checkFragment := func(docFile, link, targetPath, frag string) {
+		anchors, err := anchorsOf(targetPath)
+		if err != nil {
+			t.Errorf("%s: link %q: cannot read target %s: %v", docFile, link, targetPath, err)
+			return
+		}
+		if !anchors[frag] {
+			t.Errorf("%s: link %q points at missing anchor #%s in %s", docFile, link, frag, targetPath)
+		}
+	}
 	for _, f := range files {
 		body, err := os.ReadFile(f)
 		if err != nil {
@@ -49,18 +79,98 @@ func TestDocsRelativeLinks(t *testing.T) {
 		}
 		for _, m := range mdLink.FindAllStringSubmatch(string(body), -1) {
 			target := m[1]
-			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") ||
-				strings.HasPrefix(target, "#") {
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
 				continue
 			}
-			target, _, _ = strings.Cut(target, "#")
-			if target == "" {
+			if frag, ok := strings.CutPrefix(target, "#"); ok {
+				checkFragment(f, m[1], f, frag)
 				continue
 			}
+			target, frag, hasFrag := strings.Cut(target, "#")
 			resolved := filepath.Join(filepath.Dir(f), target)
 			if _, err := os.Stat(resolved); err != nil {
 				t.Errorf("%s: broken relative link %q (resolved %s)", f, m[1], resolved)
+				continue
+			}
+			if hasFrag && strings.HasSuffix(resolved, ".md") {
+				checkFragment(f, m[1], resolved, frag)
 			}
 		}
 	}
+}
+
+// headingAnchors returns the anchor slugs of every ATX heading in a markdown
+// body, the way GitHub generates them: lowercase, punctuation stripped,
+// spaces to hyphens, repeated slugs deduplicated with -1, -2, … suffixes.
+// Headings inside fenced code blocks (``` or ~~~) are ignored, so shell
+// comments in examples don't masquerade as sections.
+func headingAnchors(body string) map[string]bool {
+	anchors := make(map[string]bool)
+	counts := make(map[string]int)
+	inFence := false
+	for _, line := range strings.Split(body, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") || strings.HasPrefix(trimmed, "~~~") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		level := len(line) - len(strings.TrimLeft(line, "#"))
+		rest := line[level:]
+		if level > 6 || (rest != "" && !strings.HasPrefix(rest, " ")) {
+			continue // not a heading (e.g. #!/bin/sh outside a fence)
+		}
+		text := strings.TrimSpace(rest)
+		text = mdInlineLink.ReplaceAllString(text, "$1") // keep link text
+		text = strings.ReplaceAll(text, "`", "")
+		slug := githubSlug(text)
+		if n := counts[slug]; n > 0 {
+			anchors[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			anchors[slug] = true
+		}
+		counts[slug]++
+	}
+	return anchors
+}
+
+// TestHeadingAnchors pins the slug algorithm against GitHub's behavior:
+// punctuation stripped, spaces to hyphens (each space independently),
+// backticks removed, duplicates suffixed, fenced blocks ignored.
+func TestHeadingAnchors(t *testing.T) {
+	body := "# API & Serving Guide\n" +
+		"\n```sh\n# just a shell comment\n```\n" +
+		"## The `spcglint` tool\n" +
+		"## Repeat\n" +
+		"## Repeat\n" +
+		"#not-a-heading\n"
+	anchors := headingAnchors(body)
+	for _, want := range []string{"api--serving-guide", "the-spcglint-tool", "repeat", "repeat-1"} {
+		if !anchors[want] {
+			t.Errorf("anchor %q missing from %v", want, anchors)
+		}
+	}
+	for _, bad := range []string{"just-a-shell-comment", "not-a-heading"} {
+		if anchors[bad] {
+			t.Errorf("anchor %q should not exist (fenced or malformed heading)", bad)
+		}
+	}
+}
+
+// githubSlug lowercases a heading and keeps letters, digits, hyphens and
+// underscores, mapping spaces to hyphens — GitHub's anchor algorithm.
+func githubSlug(s string) string {
+	s = strings.ToLower(s)
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '-' || r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
 }

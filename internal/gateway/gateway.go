@@ -31,8 +31,8 @@ import (
 	"container/list"
 	"context"
 	"encoding/json"
-	"io"
 	"fmt"
+	"io"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"spcg/internal/obs"
+	"spcg/internal/resilience"
 )
 
 // Config sizes the gateway. Zero values get sensible defaults; Backends is
@@ -185,7 +186,14 @@ func New(cfg Config) (*Gateway, error) {
 	}
 	g.probeOnce()
 	g.wg.Add(1)
-	go g.probeLoop()
+	go func() {
+		// probeLoop's own defer releases g.wg during the unwind, so Close
+		// never hangs even if the loop dies; the counter records that the
+		// gateway lost health probing.
+		if err := resilience.Safe(g.probeLoop); err != nil {
+			g.met.panics.Inc()
+		}
+	}()
 	return g, nil
 }
 

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
-	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -408,27 +407,5 @@ func TestProbeRecovery(t *testing.T) {
 	snap := g.snapshot()
 	if snap.BackendsAlive != 2 || snap.BackendsDead != 0 {
 		t.Fatalf("alive=%d dead=%d after recovery, want 2/0", snap.BackendsAlive, snap.BackendsDead)
-	}
-}
-
-// TestGatewayMetricsDocumented pins every spcggw_* family to a row in
-// docs/OBSERVABILITY.md, mirroring the daemon's TestMetricsDocumented.
-func TestGatewayMetricsDocumented(t *testing.T) {
-	a := newStub()
-	defer a.srv.Close()
-	g := newTestGateway(t, a)
-	// Touch the lazily-created labeled families so Names() sees them.
-	g.met.forBackend("x")
-	g.met.refreshMembership(g)
-
-	raw, err := os.ReadFile("../../docs/OBSERVABILITY.md")
-	if err != nil {
-		t.Fatalf("read docs: %v", err)
-	}
-	doc := string(raw)
-	for _, name := range g.Registry().Names() {
-		if !strings.Contains(doc, "`"+name+"`") {
-			t.Errorf("metric %q is not documented in docs/OBSERVABILITY.md", name)
-		}
 	}
 }

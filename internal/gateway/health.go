@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"spcg/internal/resilience"
 )
 
 // BackendState is the gateway's view of one backend's availability.
@@ -88,8 +90,15 @@ func (g *Gateway) probeOnce() {
 	for _, b := range g.backends {
 		wg.Add(1)
 		go func(b *backend) {
-			defer wg.Done()
-			g.probe(b)
+			// Safe first so a panicking probe still releases the WaitGroup
+			// (the deferred Done runs during the unwind) instead of wedging
+			// probeOnce — and with it the whole probe loop — forever.
+			if err := resilience.Safe(func() {
+				defer wg.Done()
+				g.probe(b)
+			}); err != nil {
+				g.met.panics.Inc()
+			}
 		}(b)
 	}
 	wg.Wait()

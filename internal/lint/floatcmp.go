@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatcmpConfig targets the floatcmp analyzer.
+type FloatcmpConfig struct {
+	// AllowFiles are path suffixes of files exempted entirely — the
+	// exact-parity tests whose whole point is bitwise equality of floats
+	// (fused-vs-naive, SELL-vs-CSR, replay determinism).
+	AllowFiles []string
+}
+
+// Floatcmp flags == and != between floating-point (or complex) operands.
+// Exact float equality is almost always a rounding-fragile bug; the two
+// legitimate uses in this codebase are carved out explicitly: comparisons
+// against an exact zero (breakdown guards like den == 0 test "this value was
+// never produced", a bitwise-meaningful condition), and the allowlisted
+// exact-parity test files whose purpose is bitwise reproduction.
+func Floatcmp(cfg FloatcmpConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "floatcmp",
+		Doc:  "no ==/!= on floats outside zero guards and exact-parity test files",
+	}
+	a.Run = func(p *Pass) {
+		for _, f := range p.Pkg.Files {
+			name := p.Pkg.Filename(f.Pos())
+			if allowedFile(name, cfg.AllowFiles) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				xt, yt := p.Pkg.Info.Types[be.X], p.Pkg.Info.Types[be.Y]
+				if !isFloatish(xt.Type) && !isFloatish(yt.Type) {
+					return true
+				}
+				// Exact-zero guards are idiomatic breakdown/sentinel checks.
+				if isZeroConst(xt) || isZeroConst(yt) {
+					return true
+				}
+				// Both sides constant: decided at compile time.
+				if xt.Value != nil && yt.Value != nil {
+					return true
+				}
+				p.Reportf(be.OpPos, "floating-point %s comparison; compare with a tolerance, or allowlist the file if it asserts exact parity", be.Op)
+				return true
+			})
+		}
+	}
+	return a
+}
+
+func allowedFile(name string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if strings.HasSuffix(name, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func isFloatish(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+func isZeroConst(tv types.TypeAndValue) bool {
+	if tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float, constant.Complex:
+		return constant.Compare(tv.Value, token.EQL, constant.MakeInt64(0))
+	}
+	return false
+}

@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// MetricdocConfig targets the metricdoc analyzer.
+type MetricdocConfig struct {
+	// ObsPath is the import path of the metrics registry package.
+	ObsPath string
+	// Constructors are the Registry methods whose first argument is a
+	// metric family name.
+	Constructors []string
+	// MetricsDoc is the metric reference document, relative to the module
+	// root (docs/OBSERVABILITY.md). A metric family name must appear there
+	// in backticks.
+	MetricsDoc string
+	// RoutesDoc is the HTTP API document, relative to the module root
+	// (docs/API.md). Every route pattern must appear there as a line
+	// carrying the method and the backticked path.
+	RoutesDoc string
+	// RoutesVar names the package-level route tables ("routes").
+	RoutesVar string
+}
+
+// docFile is one lazily loaded documentation file.
+type docFile struct {
+	body  string
+	lines []string
+	err   error
+}
+
+// Metricdoc pins the observable surface to its documentation at the source
+// level: every metric-family name passed to an obs registry constructor must
+// appear (backticked) in the metrics reference, and every pattern in a
+// package's route table must appear in the API reference with its method.
+// This generalizes — and replaces — the per-package reflection tests that
+// walked live registries: the check now covers every constructor call in the
+// compile graph, whether or not a test happens to exercise it, and it
+// requires names to be string literals so coverage is decidable.
+func Metricdoc(cfg MetricdocConfig) *Analyzer {
+	ctors := stringSet(cfg.Constructors)
+	docs := make(map[string]*docFile)
+	load := func(m *Module, rel string) *docFile {
+		if d, ok := docs[rel]; ok {
+			return d
+		}
+		path := rel
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(m.Root, rel)
+		}
+		raw, err := os.ReadFile(path)
+		d := &docFile{err: err}
+		if err == nil {
+			d.body = string(raw)
+			d.lines = strings.Split(d.body, "\n")
+		}
+		docs[rel] = d
+		return d
+	}
+
+	a := &Analyzer{
+		Name: "metricdoc",
+		Doc:  "metric families and routes must be documented string literals",
+	}
+	a.Run = func(p *Pass) {
+		for _, f := range p.Pkg.Files {
+			if p.Pkg.IsTestFile(f.Pos()) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !ctors[sel.Sel.Name] || len(call.Args) == 0 {
+					return true
+				}
+				fn, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != cfg.ObsPath {
+					return true
+				}
+				name, ok := stringLit(call.Args[0])
+				if !ok {
+					p.Reportf(call.Args[0].Pos(), "metric family name passed to %s must be a string literal so documentation coverage is checkable", sel.Sel.Name)
+					return true
+				}
+				doc := load(p.Module, cfg.MetricsDoc)
+				if doc.err != nil {
+					p.Reportf(call.Pos(), "cannot read %s: %v", cfg.MetricsDoc, doc.err)
+					return true
+				}
+				if !strings.Contains(doc.body, "`"+name+"`") {
+					p.Reportf(call.Args[0].Pos(), "metric family %q is not documented in %s", name, cfg.MetricsDoc)
+				}
+				return true
+			})
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, nm := range vs.Names {
+						if nm.Name != cfg.RoutesVar || i >= len(vs.Values) {
+							continue
+						}
+						if cl, ok := vs.Values[i].(*ast.CompositeLit); ok {
+							checkRoutes(p, cl, cfg.RoutesDoc, load(p.Module, cfg.RoutesDoc))
+						}
+					}
+				}
+			}
+		}
+	}
+	return a
+}
+
+// checkRoutes validates each element of a route-table literal: the first
+// string literal inside the element is the "METHOD /path" pattern, which
+// must appear in the API doc on a line containing both the method and the
+// backticked path (the same rule the retired reflection tests applied).
+func checkRoutes(p *Pass, table *ast.CompositeLit, docName string, doc *docFile) {
+	for _, elt := range table.Elts {
+		var pattern string
+		var pos = elt.Pos()
+		ast.Inspect(elt, func(n ast.Node) bool {
+			if pattern != "" {
+				return false
+			}
+			if s, ok := stringLit(asExpr(n)); ok {
+				pattern = s
+				pos = n.Pos()
+				return false
+			}
+			return true
+		})
+		if pattern == "" {
+			p.Reportf(pos, "route-table entry has no string-literal pattern; spcglint cannot check documentation coverage")
+			continue
+		}
+		method, path, ok := strings.Cut(pattern, " ")
+		if !ok {
+			p.Reportf(pos, "route pattern %q has no method prefix (want \"METHOD /path\")", pattern)
+			continue
+		}
+		if doc.err != nil {
+			p.Reportf(pos, "cannot read %s: %v", docName, doc.err)
+			return
+		}
+		found := false
+		want := "`" + path + "`"
+		for _, ln := range doc.lines {
+			if strings.Contains(ln, want) && strings.Contains(ln, method) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			p.Reportf(pos, "route %q is not documented in %s (want a line with %s and %s)", pattern, docName, method, want)
+		}
+	}
+}
+
+// asExpr narrows an ast.Node to ast.Expr for the literal helpers.
+func asExpr(n ast.Node) ast.Expr {
+	e, _ := n.(ast.Expr)
+	return e
+}

@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// SafegoConfig targets the safego analyzer.
+type SafegoConfig struct {
+	// Packages are the import paths whose goroutines must be panic-guarded.
+	Packages []string
+	// SafePath is the import path of the package providing the guard
+	// (the repo's internal/resilience).
+	SafePath string
+	// SafeFunc is the guard function's name (Safe).
+	SafeFunc string
+}
+
+// Safego enforces the daemon's panic-isolation contract: every goroutine
+// spawned in the service, gateway and spmd layers must run its body under
+// resilience.Safe, so a panicking solve, probe or rank can only fail its own
+// unit of work — never crash the process. The accepted shape is a `go` of a
+// function literal whose first statement calls (or branches on) the guard:
+//
+//	go func() {
+//	    if err := resilience.Safe(func() { ... work ... }); err != nil { ... }
+//	}()
+//
+// Putting the guard first keeps the unguarded window empty; cleanup that must
+// survive a panic (WaitGroup.Done, inflight bookkeeping) belongs in defers
+// inside the guarded function, where it runs during unwinding and the panic
+// is still converted to an error.
+func Safego(cfg SafegoConfig) *Analyzer {
+	pkgs := stringSet(cfg.Packages)
+	a := &Analyzer{
+		Name: "safego",
+		Doc:  "service-layer goroutines must run their body under resilience.Safe",
+	}
+	isGuard := func(p *Pass, call *ast.CallExpr) bool {
+		pkgPath, name, ok := pkgFuncOf(p, call)
+		return ok && pkgPath == cfg.SafePath && name == cfg.SafeFunc
+	}
+	a.Run = func(p *Pass) {
+		if !pkgs[p.Pkg.Types.Path()] {
+			return
+		}
+		for _, f := range p.Pkg.Files {
+			if p.Pkg.IsTestFile(f.Pos()) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				lit, ok := g.Call.Fun.(*ast.FuncLit)
+				if !ok {
+					p.Reportf(g.Pos(), "go statement must spawn a func literal whose first statement runs the body under %s.%s (got a direct call)", pkgName(cfg.SafePath), cfg.SafeFunc)
+					return true
+				}
+				if len(lit.Body.List) == 0 ||
+					!containsCall(lit.Body.List[0], func(c *ast.CallExpr) bool { return isGuard(p, c) }) {
+					p.Reportf(g.Pos(), "goroutine body is not panic-guarded: first statement must call %s.%s", pkgName(cfg.SafePath), cfg.SafeFunc)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// pkgName returns the last element of an import path for message text.
+func pkgName(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

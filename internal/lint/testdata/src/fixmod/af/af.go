@@ -1,0 +1,33 @@
+// Package af exercises allocfree: AxpyFused allocates inside its loop and is
+// flagged; ScaleFused hoists scratch before the loop; assemble is not a
+// fused kernel, so its loop allocations are out of scope.
+package af
+
+// AxpyFused allocates per iteration — flagged on the make and the append.
+func AxpyFused(x []float64, rounds int) []float64 {
+	var out []float64
+	for r := 0; r < rounds; r++ {
+		tmp := make([]float64, len(x))
+		copy(tmp, x)
+		out = append(out, tmp...)
+	}
+	return out
+}
+
+// ScaleFused sizes its scratch before the loop — clean.
+func ScaleFused(x []float64, a float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = a * v
+	}
+	return out
+}
+
+// assemble allocates in a loop but is not a fused kernel.
+func assemble(n int) [][]float64 {
+	var rows [][]float64
+	for i := 0; i < n; i++ {
+		rows = append(rows, make([]float64, n))
+	}
+	return rows
+}

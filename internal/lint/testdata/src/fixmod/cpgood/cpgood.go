@@ -1,0 +1,44 @@
+// Package cpgood is the compliant miniature solver: the registered method's
+// convergence loop polls cancelled() alongside done(), and an unregistered
+// helper shows that reachability — not mere presence — scopes the check.
+package cpgood
+
+// Method is a registered solver entry point.
+type Method func(n int) int
+
+// methods is the registry the analyzer roots reachability at.
+var methods = map[string]Method{"solve": Solve}
+
+// checker is the convergence criterion with a cancellation hook.
+type checker struct{ cancel func() bool }
+
+func (c *checker) done(v float64) bool { return v < 1e-8 }
+func (c *checker) cancelled() bool     { return c.cancel != nil && c.cancel() }
+
+// Solve polls cancellation on every iteration.
+func Solve(n int) int {
+	c := &checker{}
+	i := 0
+	for ; i < n; i++ {
+		if c.cancelled() {
+			break
+		}
+		if c.done(float64(n - i)) {
+			break
+		}
+	}
+	return i
+}
+
+// orphan has the offending loop shape but is not reachable from the
+// registry, so it is out of the contract's scope.
+func orphan(n int) int {
+	c := &checker{}
+	i := 0
+	for ; i < n; i++ {
+		if c.done(float64(n - i)) {
+			break
+		}
+	}
+	return i
+}

@@ -1,0 +1,28 @@
+// Package detbad violates every determinism rule once; the fixture test
+// asserts one diagnostic per construct.
+package detbad
+
+import (
+	"math/rand"
+	"time"
+)
+
+// SumWeights ranges a map, so the summation order differs run to run.
+func SumWeights(w map[string]float64) float64 {
+	var s float64
+	for _, v := range w {
+		s += v
+	}
+	return s
+}
+
+// Stamp reads the wall clock.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Draw uses the unseeded global rand source.
+func Draw() float64 { return rand.Float64() }
+
+// Spawn starts an ad-hoc goroutine.
+func Spawn(done chan struct{}) {
+	go func() { close(done) }()
+}

@@ -1,0 +1,35 @@
+// Package detloop exercises the loop-only determinism mode: setup code at
+// function level may consult maps and clocks, iteration bodies may not.
+package detloop
+
+import "time"
+
+// Setup ranges a map and reads the clock at function level — allowed in a
+// loop-only package.
+func Setup(cfg map[string]int) (int, int64) {
+	n := 0
+	for _, v := range cfg {
+		n += v
+	}
+	return n, time.Now().UnixNano()
+}
+
+// Iterate reads the clock inside its loop body — flagged.
+func Iterate(n int) int64 {
+	var last int64
+	for i := 0; i < n; i++ {
+		last = time.Now().UnixNano()
+	}
+	return last
+}
+
+// Drain ranges a map inside an iteration body — flagged.
+func Drain(w map[string]int, rounds int) int {
+	s := 0
+	for r := 0; r < rounds; r++ {
+		for _, v := range w {
+			s += v
+		}
+	}
+	return s
+}

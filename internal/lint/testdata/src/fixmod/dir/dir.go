@@ -1,0 +1,19 @@
+// Package dir exercises the //spcglint:ignore directive machinery: a valid
+// suppression, a directive with no reason, and one naming an unknown
+// analyzer. The malformed ones are reported and do not suppress.
+package dir
+
+// Suppressed's comparison is covered by a well-formed directive.
+//
+//spcglint:ignore floatcmp fixture exercises the suppression mechanism
+func Suppressed(a, b float64) bool { return a == b }
+
+// NoReason's directive omits the mandatory reason.
+//
+//spcglint:ignore floatcmp
+func NoReason(a, b float64) bool { return a == b }
+
+// Unknown's directive names a nonexistent analyzer.
+//
+//spcglint:ignore nosuch because the analyzer does not exist
+func Unknown(a, b float64) bool { return a == b }

@@ -1,0 +1,6 @@
+// This file is on the fixture's exact-parity allowlist: bitwise comparison
+// is its purpose, so floatcmp must stay silent here.
+package fc
+
+// BitDiffers asserts bitwise inequality, as a parity test would.
+func BitDiffers(a, b float64) bool { return a != b }

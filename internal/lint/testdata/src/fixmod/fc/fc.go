@@ -1,0 +1,15 @@
+// Package fc exercises the floatcmp carve-outs: the exact comparison in
+// Equal is flagged; the zero guard and the constant fold are not.
+package fc
+
+// Equal compares floats exactly — rounding-fragile, flagged.
+func Equal(a, b float64) bool { return a == b }
+
+// Guard is the idiomatic breakdown check against an exact zero — allowed.
+func Guard(den float64) bool { return den == 0 }
+
+// eps participates in a comparison decided at compile time — allowed.
+const eps = 1e-9
+
+// ConstCheck compares two constants.
+func ConstCheck() bool { return eps == 1e-9 }

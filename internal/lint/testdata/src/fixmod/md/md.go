@@ -1,0 +1,24 @@
+// Package md exercises metricdoc: one documented family, one missing
+// family, one non-literal name, one documented route and one ghost route.
+package md
+
+import "fixmod/obs"
+
+// route mirrors the serving packages' route-table element shape.
+type route struct {
+	pattern string
+	name    string
+}
+
+// routes is the table the analyzer checks against docs/API.md.
+var routes = []route{
+	{"POST /solve", "solve"},
+	{"GET /ghost", "ghost"},
+}
+
+// Register creates the fixture's metric families.
+func Register(reg *obs.Registry, dynamic string) {
+	reg.Counter("fix_documented_total", "Documented in the fixture docs.")
+	reg.Counter("fix_missing_total", "Missing from the fixture docs.")
+	reg.Counter(dynamic, "Non-literal name defeats the coverage check.")
+}

@@ -1,0 +1,24 @@
+// Package obs is a stub of the repo's metrics registry, just enough for the
+// metricdoc fixtures to reference by import path.
+package obs
+
+// Registry registers metric families.
+type Registry struct{}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter is a monotone metric family.
+type Counter struct{}
+
+// Gauge is a point-in-time metric family.
+type Gauge struct{}
+
+// Counter registers a counter family.
+func (r *Registry) Counter(name, help string) *Counter { return &Counter{} }
+
+// Gauge registers a gauge family.
+func (r *Registry) Gauge(name, help string) *Gauge { return &Gauge{} }
+
+// GaugeFunc registers a computed gauge family.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {}

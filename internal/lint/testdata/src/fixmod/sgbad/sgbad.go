@@ -1,0 +1,25 @@
+// Package sgbad spawns goroutines in all three rejected shapes: a direct
+// call, an unguarded literal, and a literal whose guard is not first.
+package sgbad
+
+import "fixmod/resilience"
+
+// SpawnDirect goes a direct call — nothing can guard its body.
+func SpawnDirect(fn func()) {
+	go fn()
+}
+
+// SpawnUnguarded never installs the guard.
+func SpawnUnguarded(fn func()) {
+	go func() {
+		fn()
+	}()
+}
+
+// SpawnLate guards, but only after an unguarded first statement.
+func SpawnLate(fn func()) {
+	go func() {
+		work := fn
+		_ = resilience.Safe(work)
+	}()
+}

@@ -1,0 +1,23 @@
+// Package sggood spawns in the accepted shape: a func literal whose first
+// statement branches on resilience.Safe, with cleanup deferred inside the
+// guarded function.
+package sggood
+
+import (
+	"sync"
+
+	"fixmod/resilience"
+)
+
+// Spawn is the canonical guarded goroutine.
+func Spawn(wg *sync.WaitGroup, fn func(), onPanic func(error)) {
+	wg.Add(1)
+	go func() {
+		if err := resilience.Safe(func() {
+			defer wg.Done()
+			fn()
+		}); err != nil {
+			onPanic(err)
+		}
+	}()
+}

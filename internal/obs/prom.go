@@ -95,6 +95,7 @@ func sampleName(name, sig, extra string) string {
 // formatValue renders a float64 the way Prometheus clients expect: integral
 // values without an exponent or trailing zeros, everything else in %g.
 func formatValue(v float64) string {
+	//spcglint:ignore floatcmp integrality test: Trunc(v)==v is exact by construction, not a rounding comparison
 	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
 		return strconv.FormatInt(int64(v), 10)
 	}

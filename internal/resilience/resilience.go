@@ -417,7 +417,15 @@ func Safe(fn func()) (err error) {
 			if len(stack) > maxStackBytes {
 				stack = stack[:maxStackBytes]
 			}
-			err = fmt.Errorf("%w: %v\n%s", ErrPanic, p, stack)
+			// When the panic value is an error, wrap it so callers can still
+			// match it with errors.Is/As through the ErrPanic envelope (the
+			// spmd poison protocol panics with a sentinel error and relies on
+			// recovering it by identity).
+			if pe, ok := p.(error); ok {
+				err = fmt.Errorf("%w: %w\n%s", ErrPanic, pe, stack)
+			} else {
+				err = fmt.Errorf("%w: %v\n%s", ErrPanic, p, stack)
+			}
 		}
 	}()
 	fn()

@@ -4,7 +4,6 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
-	"os"
 	"strings"
 	"testing"
 	"time"
@@ -87,30 +86,6 @@ func TestMetricsJSONFormat(t *testing.T) {
 	}
 	if _, ok := m.Latency["pcg"]; !ok {
 		t.Errorf("latency map missing pcg: %+v", m.Latency)
-	}
-}
-
-// TestMetricsDocumented: every metric the server registers appears in
-// docs/OBSERVABILITY.md's reference table (the docs-and-vet CI job runs
-// this, keeping the docs and the registry from drifting).
-func TestMetricsDocumented(t *testing.T) {
-	s := New(Config{Workers: 1})
-	defer shutdownServer(t, s)
-	ts := httptest.NewServer(s.Handler())
-	defer ts.Close()
-	// A solve materializes the lazily created per-method latency series.
-	if code, st := postSolve(t, ts.URL, SolveRequest{Matrix: "poisson2d:16"}); code != http.StatusOK || st.State != JobDone {
-		t.Fatalf("solve: HTTP %d, state %s", code, st.State)
-	}
-
-	doc, err := os.ReadFile("../../docs/OBSERVABILITY.md")
-	if err != nil {
-		t.Fatalf("read metric reference: %v", err)
-	}
-	for _, name := range s.Registry().Names() {
-		if !strings.Contains(string(doc), "`"+name+"`") {
-			t.Errorf("metric %q is not documented in docs/OBSERVABILITY.md", name)
-		}
 	}
 }
 

@@ -295,7 +295,15 @@ func New(cfg Config) *Server {
 	s.met.bindFormats(s)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
-		go s.worker()
+		go func() {
+			// runGuarded already isolates per-solve panics; this outer guard
+			// covers the queue loop itself so a bug there can never kill a
+			// worker silently. worker's own defer releases the WaitGroup
+			// during the unwind before Safe recovers.
+			if err := resilience.Safe(s.worker); err != nil {
+				s.met.panics.Inc()
+			}
+		}()
 	}
 	return s
 }
@@ -519,9 +527,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 	done := make(chan struct{})
 	go func() {
-		s.wg.Wait()
-		s.bg.Wait() // background tuning probes observe baseCtx, so they unwind too
-		close(done)
+		if err := resilience.Safe(func() {
+			defer close(done) // shutdown must never hang on a panicked waiter
+			s.wg.Wait()
+			s.bg.Wait() // background tuning probes observe baseCtx, so they unwind too
+		}); err != nil {
+			s.met.panics.Inc()
+		}
 	}()
 	var err error
 	select {
@@ -696,14 +708,20 @@ func (s *Server) watchStagnation(opts *solver.Options, stop <-chan struct{}, job
 	hb := resilience.NewHeartbeat(s.cfg.StagnationImprove)
 	opts.OnProgress = hb.Record
 	cfg := resilience.WatchdogConfig{Interval: s.cfg.WatchdogInterval, Window: s.cfg.StagnationWindow}
-	go resilience.Watch(stop, hb, cfg, func(snap resilience.HeartbeatSnapshot) {
-		reason := fmt.Sprintf("no residual progress for %s (best relative %.3g, %d checks, iteration %d)",
-			snap.SinceImprove.Round(time.Millisecond), snap.Best, snap.Beats, snap.Iterations)
-		for _, j := range jobs {
-			j.markStagnated(reason)
-			j.cancel()
+	go func() {
+		if err := resilience.Safe(func() {
+			resilience.Watch(stop, hb, cfg, func(snap resilience.HeartbeatSnapshot) {
+				reason := fmt.Sprintf("no residual progress for %s (best relative %.3g, %d checks, iteration %d)",
+					snap.SinceImprove.Round(time.Millisecond), snap.Best, snap.Beats, snap.Iterations)
+				for _, j := range jobs {
+					j.markStagnated(reason)
+					j.cancel()
+				}
+			})
+		}); err != nil {
+			s.met.panics.Inc()
 		}
-	})
+	}()
 }
 
 // runSolo executes one job with the effective request's method — or, when
@@ -814,10 +832,14 @@ func (s *Server) runBatch(members []*job, plan *formatPlan, m precond.Interface)
 
 	allDone := make(chan struct{})
 	go func() {
-		for _, j := range members {
-			<-j.ctx.Done() // finishJob cancels each ctx, so this always drains
+		if err := resilience.Safe(func() {
+			defer close(allDone) // the watchdog below selects on allDone; never leak it
+			for _, j := range members {
+				<-j.ctx.Done() // finishJob cancels each ctx, so this always drains
+			}
+		}); err != nil {
+			s.met.panics.Inc()
 		}
-		close(allDone)
 	}()
 
 	opts := optsFromReq(members[0].req, allDone)

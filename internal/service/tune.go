@@ -134,9 +134,13 @@ func (s *Server) startBackgroundTune(a *sparse.CSR, fp uint64, matrix string, pl
 	s.mu.Unlock()
 
 	go func() {
-		defer s.bg.Done()
-		defer s.clearInflight(fp)
-		if err := resilience.Safe(func() { s.runTrials(a, fp, matrix, plan) }); err != nil {
+		// Safe is the goroutine's first statement so the guard covers the
+		// cleanup defers too; they run during the unwind before recover.
+		if err := resilience.Safe(func() {
+			defer s.bg.Done()
+			defer s.clearInflight(fp)
+			s.runTrials(a, fp, matrix, plan)
+		}); err != nil {
 			s.met.panics.Inc()
 		}
 	}()

@@ -234,8 +234,10 @@ func probeFormats(cands []formatCandidate, n int) []int64 {
 	}
 	for r := 0; r < formatProbeReps; r++ {
 		for i, c := range cands {
+			//spcglint:ignore determinism measured format probe: timing feeds format choice, never numeric values
 			t0 := time.Now()
 			c.op.MulVecPar(dst, c.x)
+			//spcglint:ignore determinism measured format probe: timing feeds format choice, never numeric values
 			if d := time.Since(t0).Nanoseconds(); d < times[i] {
 				times[i] = d
 			}

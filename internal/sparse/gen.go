@@ -421,22 +421,25 @@ func SPDWithSpectrum(spectrum []float64, rotations int, seed int64) *CSR {
 		// A ← GᵀAG with G the Givens rotation in plane (p,q). Because A is
 		// symmetric before the rotation, the nonzero rows of columns p,q are
 		// exactly the nonzero columns of rows p,q — capture them before the
-		// row update mutates those rows.
-		touched := map[int]struct{}{p: {}, q: {}}
-		for j := range rows[p] {
-			touched[j] = struct{}{}
-		}
-		for j := range rows[q] {
-			touched[j] = struct{}{}
+		// row update mutates those rows. The touched set is iterated in
+		// sorted order so the assembled matrix is identical run to run.
+		cols := append(sortedCols(rows[p]), sortedCols(rows[q])...)
+		cols = append(cols, p, q)
+		sort.Ints(cols)
+		touched := cols[:1]
+		for _, j := range cols[1:] {
+			if j != touched[len(touched)-1] {
+				touched = append(touched, j)
+			}
 		}
 		// Row update: rows p,q mix.
-		for j := range touched {
+		for _, j := range touched {
 			ap, aq := get(p, j), get(q, j)
 			set(p, j, c*ap-s*aq)
 			set(q, j, s*ap+c*aq)
 		}
 		// Column update: columns p,q mix.
-		for i := range touched {
+		for _, i := range touched {
 			aip, aiq := get(i, p), get(i, q)
 			set(i, p, c*aip-s*aiq)
 			set(i, q, s*aip+c*aiq)
@@ -444,13 +447,25 @@ func SPDWithSpectrum(spectrum []float64, rotations int, seed int64) *CSR {
 	}
 	coo := NewCOO(n)
 	for i, row := range rows {
-		for j, v := range row {
-			coo.Add(i, j, v)
+		for _, j := range sortedCols(row) {
+			coo.Add(i, j, row[j])
 		}
 	}
 	a := coo.ToCSR()
 	// Enforce exact symmetry (rotation roundoff breaks it at ~1e-16).
 	return symmetrizeCSR(a)
+}
+
+// sortedCols returns the keys of a sparse-row map in ascending order. Map
+// iteration order is randomized per run; every walk over a row map goes
+// through this helper so generated matrices are bitwise-identical in seed.
+func sortedCols(m map[int]float64) []int {
+	cols := make([]int, 0, len(m))
+	for j := range m { //spcglint:ignore determinism key collection is order-insensitive; sorted below
+		cols = append(cols, j)
+	}
+	sort.Ints(cols)
+	return cols
 }
 
 // symmetrizeCSR returns (A + Aᵀ)/2.

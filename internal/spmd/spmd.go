@@ -21,7 +21,7 @@ package spmd
 import (
 	"errors"
 	"fmt"
-	"runtime/debug"
+	"spcg/internal/resilience"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -131,16 +131,19 @@ func (w *World) RunE(fn func(r *Rank)) error {
 	for id := 0; id < w.P; id++ {
 		wg.Add(1)
 		go func(id int) {
-			defer wg.Done()
-			defer func() {
-				if rec := recover(); rec != nil {
-					if err, ok := rec.(error); ok && errors.Is(err, errPoisoned) {
-						return // secondary victim of another rank's failure
-					}
-					w.poison(fmt.Errorf("spmd: rank %d panicked: %v\n%s", id, rec, debug.Stack()))
+			// resilience.Safe is the single panic boundary for the whole
+			// fleet; it preserves error identity through ErrPanic, so the
+			// errPoisoned sentinel thrown at secondary victims still matches
+			// by errors.Is after wrapping. The stack is captured by Safe.
+			if err := resilience.Safe(func() {
+				defer wg.Done()
+				fn(&Rank{ID: id, W: w})
+			}); err != nil {
+				if errors.Is(err, errPoisoned) {
+					return // secondary victim of another rank's failure
 				}
-			}()
-			fn(&Rank{ID: id, W: w})
+				w.poison(fmt.Errorf("spmd: rank %d panicked: %w", id, err))
+			}
 		}(id)
 	}
 	wg.Wait()

@@ -242,6 +242,7 @@ func (b *Block) AddScaledFused(dst []float64, alpha float64, c []float64) {
 		panic("vec: AddScaledFused dst length mismatch")
 	}
 	coef := c
+	//spcglint:ignore floatcmp exact literal-1 fast path: skips the scale pass without changing results
 	if alpha != 1 {
 		coef = make([]float64, len(c))
 		for i, v := range c {

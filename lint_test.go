@@ -1,0 +1,31 @@
+package spcg
+
+import (
+	"testing"
+
+	"spcg/internal/lint"
+)
+
+// TestRepoLintClean is the repository lint gate: loading and type-checking
+// the whole module and running the first-party analyzer suite
+// (internal/lint, same configuration as cmd/spcglint) must produce zero
+// diagnostics. CI also runs `go run ./cmd/spcglint ./...`; this test makes
+// the invariant part of the ordinary `go test ./...` cycle so a violation
+// fails locally before a push.
+func TestRepoLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the entire module")
+	}
+	m, err := lint.LoadModule(".")
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	for _, pkg := range m.Packages {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("typecheck: %v", terr)
+		}
+	}
+	for _, d := range lint.Run(m, lint.DefaultAnalyzers()) {
+		t.Errorf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+}
